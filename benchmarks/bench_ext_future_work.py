@@ -1,0 +1,153 @@
+"""Section 10 future-work extensions, implemented and measured:
+
+* memory-abuse rules (item 4) on a Trojan.Vundo-style drainer,
+* executable-download detection (item 5) on a Trojan.Lodeight-style
+  downloader,
+* cross-session tracking (item 6) on a two-stage dropper,
+* simultaneous-session correlation (item 7) on a dropper/launcher pair.
+"""
+
+from benchmarks.harness import (
+    assert_all_match,
+    emit_classification_table,
+    once,
+    render_table,
+    run_workloads,
+    write_result,
+)
+from repro.core.report import Verdict
+from repro.isa import assemble
+from repro.programs.extensions import extension_workloads
+from repro.secpert.correlation import MultiProgramMonitor
+from repro.secpert.sessions import CrossSessionMonitor
+
+TWO_STAGE = r"""
+main:
+    mov ebx, dropfile
+    mov ecx, 0
+    call open
+    cmp eax, 0
+    jl stage1
+    mov ebx, eax
+    call close
+    mov ebx, dropfile
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+stage1:
+    mov ebx, dropfile
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, payload
+    call fputs
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+dropfile: .asciz "/tmp/.stage2"
+payload: .asciz "stage two payload"
+"""
+
+DROPPER = r"""
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, payload
+    call fputs
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+payload: .asciz "innocuous content"
+"""
+
+LAUNCHER = r"""
+main:
+    mov ebp, esp
+    mov ebx, 2000
+    call sleep
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0x1ed
+    call chmod
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+"""
+
+
+def bench_ext_memory_and_download(benchmark):
+    results = once(benchmark, lambda: run_workloads(extension_workloads()))
+    emit_classification_table(
+        "Section 10 extensions: memory abuse + executable download",
+        "ext_memory_download.txt",
+        results,
+    )
+    assert_all_match(results)
+
+
+def bench_ext_cross_session(benchmark):
+    def run():
+        monitor = CrossSessionMonitor()
+        image = assemble("/home/user/twostage", TWO_STAGE)
+        monitor.hth.register_binary(image)
+        s1 = monitor.run_session(image)
+        s2 = monitor.run_session("/home/user/twostage")
+        return s1, s2
+
+    s1, s2 = once(benchmark, run)
+    rows = [
+        ("session 1 (drop)", s1.verdict.value,
+         ",".join(sorted({w.rule for w in s1.warnings}))),
+        ("session 2 (use)", s2.verdict.value,
+         ",".join(sorted({w.rule for w in s2.warnings}))),
+    ]
+    text = render_table(
+        "Section 10 item 6: cross-session tracking of a two-stage Trojan",
+        ("session", "verdict", "rules"),
+        rows,
+    )
+    write_result("ext_cross_session.txt", text)
+    print("\n" + text)
+    assert s1.verdict is Verdict.LOW       # deferred, not silenced
+    assert s2.verdict is Verdict.HIGH      # escalated with history
+
+
+def bench_ext_multi_program(benchmark):
+    def run():
+        monitor = MultiProgramMonitor()
+        monitor.spawn(assemble("/opt/dropper", DROPPER),
+                      argv=["/opt/dropper", "/tmp/part2"])
+        monitor.spawn(assemble("/opt/launcher", LAUNCHER),
+                      argv=["/opt/launcher", "/tmp/part2"])
+        monitor.run()
+        return monitor
+
+    monitor = once(benchmark, run)
+    interactions = monitor.interaction_warnings()
+    rows = [
+        (w.headline, w.severity.label()) for w in interactions
+    ]
+    text = render_table(
+        "Section 10 item 7: simultaneous-session interaction detection",
+        ("interaction", "severity"),
+        rows,
+    )
+    write_result("ext_multi_program.txt", text)
+    print("\n" + text)
+    assert len(interactions) == 1

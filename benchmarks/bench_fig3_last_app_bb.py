@@ -1,0 +1,66 @@
+"""Figure 3 — BB execution path from the application into a shared
+object: the event triggered inside libc is attributed to the "last"
+application basic block.
+
+Two application call sites funnel into the same libc execve wrapper; the
+monitor must attribute each event to its own app block with its own
+frequency — exactly the mechanism Figure 3 illustrates.
+"""
+
+from benchmarks.harness import once, render_table, write_result
+from repro.core.hth import HTH
+from repro.isa import APP_BASE, assemble
+
+SOURCE = """
+main:
+    mov edi, 0
+hot_loop:                   ; executes 5 times, calls execve each time
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    add edi, 1
+    cmp edi, 5
+    jl hot_loop
+cold_site:                  ; executes once
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+.data
+prog: .asciz "/bin/missing"
+"""
+
+
+def run_attribution():
+    hth = HTH()
+    image = assemble("/bin/fig3", SOURCE)
+    report = hth.run(image)
+    events = [e for e in report.events if e.call_name == "SYS_execve"]
+    hot = APP_BASE + image.symbols["hot_loop"]
+    cold = APP_BASE + image.symbols["cold_site"]
+    return events, hot, cold
+
+
+def bench_fig3_last_app_bb(benchmark):
+    events, hot, cold = once(benchmark, run_attribution)
+    rows = [
+        (hex(int(e.address, 16)), e.frequency,
+         "hot_loop" if int(e.address, 16) == hot else "cold_site")
+        for e in events
+    ]
+    text = render_table(
+        "Figure 3: event attribution to the last application basic block",
+        ("app BB address", "frequency at event", "site"),
+        rows,
+    )
+    write_result("fig3_last_app_bb.txt", text)
+    print("\n" + text)
+    hot_events = [e for e in events if int(e.address, 16) == hot]
+    cold_events = [e for e in events if int(e.address, 16) == cold]
+    assert len(hot_events) == 5
+    assert [e.frequency for e in hot_events] == [1, 2, 3, 4, 5]
+    assert len(cold_events) == 1
+    assert cold_events[0].frequency == 1

@@ -1,0 +1,118 @@
+"""Section 9 — performance evaluation.
+
+The paper reports that Harrier's "main performance bottleneck is caused
+by tracking the data flow" (per-instruction shadow updates).  We measure
+the same *shape* on a fixed compute+I/O workload under four monitor
+configurations:
+
+* native           — no monitor at all (NullHooks)
+* harrier-no-df    — monitoring with dataflow tracking off (the mw2.2.1
+                     configuration)
+* harrier-no-bb    — dataflow on, BB-frequency counting off
+* harrier-full     — the complete monitor
+
+Absolute times are meaningless across substrates; the assertion is the
+ordering: full > no-df >= native, i.e. dataflow dominates the overhead.
+"""
+
+import pytest
+
+from benchmarks.harness import render_table, write_result
+from repro.core.hth import HTH
+from repro.harrier.config import HarrierConfig
+from repro.isa import assemble
+
+#: A busy workload: string shuffling, arithmetic, file writes.
+WORKLOAD_SOURCE = """
+main:
+    mov edi, 0
+outer:
+    cmp edi, 20
+    jge io_phase
+    mov ebx, buf
+    mov ecx, text
+    call strcpy
+    mov ebx, buf
+    call strlen
+    add edi, 1
+    jmp outer
+io_phase:
+    mov ebx, path
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov edi, 0
+write_loop:
+    cmp edi, 10
+    jge done
+    mov ebx, esi
+    mov ecx, text
+    call fputs
+    add edi, 1
+    jmp write_loop
+done:
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+path: .asciz "/tmp/out"
+text: .asciz "the quick brown fox jumps over the lazy dog"
+buf:  .space 64
+"""
+
+_CONFIGS = {
+    "native": None,  # monitored=False
+    "harrier-no-dataflow": HarrierConfig(track_dataflow=False),
+    "harrier-no-bbfreq": HarrierConfig(track_bb_frequency=False),
+    "harrier-full": HarrierConfig(),
+}
+
+
+def run_workload(config_name):
+    config = _CONFIGS[config_name]
+    if config_name == "native":
+        hth = HTH(monitored=False)
+    else:
+        hth = HTH(harrier_config=config)
+    report = hth.run(assemble("/bin/perf", WORKLOAD_SOURCE))
+    assert report.exit_code == 0
+    return report
+
+
+@pytest.mark.benchmark(group="monitor-overhead")
+@pytest.mark.parametrize("config_name", list(_CONFIGS))
+def bench_monitor_overhead(benchmark, config_name):
+    benchmark(run_workload, config_name)
+
+
+def bench_overhead_summary(benchmark):
+    """Single-shot timing comparison + the section 9 shape assertion."""
+    import time
+
+    def measure():
+        timings = {}
+        for name in _CONFIGS:
+            start = time.perf_counter()
+            for _ in range(3):
+                run_workload(name)
+            timings[name] = (time.perf_counter() - start) / 3
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    native = timings["native"]
+    rows = [
+        (name, f"{seconds * 1000:.2f} ms", f"{seconds / native:.2f}x")
+        for name, seconds in timings.items()
+    ]
+    text = render_table(
+        "Section 9: monitor overhead relative to native execution",
+        ("configuration", "mean time", "slowdown vs native"),
+        rows,
+    )
+    write_result("performance_overhead.txt", text)
+    print("\n" + text)
+    # the paper's shape: full monitoring is the slowest, and dataflow
+    # tracking is the dominant cost
+    assert timings["harrier-full"] > timings["native"]
+    assert timings["harrier-full"] > timings["harrier-no-dataflow"]

@@ -1,0 +1,17 @@
+"""Table 2 — data source / resource-ID-origin combinations, derived from
+the taint model (section 5.1)."""
+
+from benchmarks.harness import once, render_table, write_result
+from repro.analysis.characterization import table2_rows
+
+
+def bench_table2_data_sources(benchmark):
+    rows = once(benchmark, table2_rows)
+    text = render_table(
+        "Table 2: Data source combinations",
+        ("Data Source", "Resource ID", "Resource ID (Origin) Data Source"),
+        rows,
+    )
+    write_result("table2_data_sources.txt", text)
+    print("\n" + text)
+    assert len(rows) == 11

@@ -1,0 +1,23 @@
+"""Table 3 — information gathered at each instrumentation granularity."""
+
+from benchmarks.harness import once, render_table, write_result
+from repro.analysis.instrumentation import GRANULARITY_TABLE
+
+
+def bench_table3_granularity(benchmark):
+    rows = once(
+        benchmark,
+        lambda: [
+            (r.level, r.policy_rule, r.granularity, r.information)
+            for r in GRANULARITY_TABLE
+        ],
+    )
+    text = render_table(
+        "Table 3: Information gathered in different instrumentation "
+        "granularities",
+        ("Abstraction level", "Policy rule", "Granularity", "Information"),
+        rows,
+    )
+    write_result("table3_granularity.txt", text)
+    print("\n" + text)
+    assert len(rows) == 10

@@ -1,0 +1,24 @@
+"""Table 4 — execution-flow micro-benchmarks.
+
+Regenerates the paper's Table 4: four execve micro-benchmarks whose
+process-name origins differ (user / hardcoded / remote / infrequent),
+all classified correctly by HTH.
+"""
+
+from benchmarks.harness import (
+    assert_all_match,
+    emit_classification_table,
+    once,
+    run_workloads,
+)
+from repro.programs.micro.execflow import table4_workloads
+
+
+def bench_table4_execution_flow(benchmark):
+    results = once(benchmark, lambda: run_workloads(table4_workloads()))
+    emit_classification_table(
+        "Table 4: HTH Micro benchmarks - Execution Flow",
+        "table4_execflow.txt",
+        results,
+    )
+    assert_all_match(results)

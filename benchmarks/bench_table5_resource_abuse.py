@@ -1,0 +1,19 @@
+"""Table 5 — resource-abuse micro-benchmarks (loop forker, tree forker)."""
+
+from benchmarks.harness import (
+    assert_all_match,
+    emit_classification_table,
+    once,
+    run_workloads,
+)
+from repro.programs.micro.resource import table5_workloads
+
+
+def bench_table5_resource_abuse(benchmark):
+    results = once(benchmark, lambda: run_workloads(table5_workloads()))
+    emit_classification_table(
+        "Table 5: HTH Micro benchmarks - Resource Abuse",
+        "table5_resource_abuse.txt",
+        results,
+    )
+    assert_all_match(results)

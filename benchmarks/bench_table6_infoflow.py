@@ -1,0 +1,24 @@
+"""Table 6 — information-flow micro-benchmarks.
+
+Regenerates the full source/target/origin matrix (including the paper's
+client+server socket variants) and checks every row classifies as the
+paper reports.
+"""
+
+from benchmarks.harness import (
+    assert_all_match,
+    emit_classification_table,
+    once,
+    run_workloads,
+)
+from repro.programs.micro.infoflow import table6_workloads
+
+
+def bench_table6_information_flow(benchmark):
+    results = once(benchmark, lambda: run_workloads(table6_workloads()))
+    emit_classification_table(
+        "Table 6: HTH Micro benchmarks - Information Flow",
+        "table6_infoflow.txt",
+        results,
+    )
+    assert_all_match(results)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Cross-session and multi-program hunting (paper §10, items 6-7).
+
+Two staged-Trojan scenarios the single-execution policy handles poorly:
+
+1. **Two-stage trojan across sessions** — session 1 only drops a file
+   (the immediate High is *deferred* to a Low tracking notice); session 2
+   executes the dropped file and the warning *escalates* to High with the
+   full history.
+2. **Dropper/launcher pair across programs** — two programs that each
+   look benign alone; the correlator flags the staged interaction.
+
+Run:  python examples/cross_session_hunting.py
+"""
+
+from repro.isa import assemble
+from repro.secpert.correlation import MultiProgramMonitor
+from repro.secpert.sessions import CrossSessionMonitor
+
+TWO_STAGE = r"""
+; stage 1 (file absent): drop the payload; stage 2 (file present): run it
+main:
+    mov ebx, dropfile
+    mov ecx, 0
+    call open
+    cmp eax, 0
+    jl stage1
+    mov ebx, eax
+    call close
+    mov ebx, dropfile
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+stage1:
+    mov ebx, dropfile
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, payload
+    call fputs
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+dropfile: .asciz "/tmp/.stage2"
+payload: .asciz "stage two payload"
+"""
+
+DROPPER = r"""
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, payload
+    call fputs
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+payload: .asciz "innocuous content"
+"""
+
+LAUNCHER = r"""
+main:
+    mov ebp, esp
+    mov ebx, 2000
+    call sleep
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0x1ed
+    call chmod
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+"""
+
+
+def cross_session_demo() -> None:
+    print("=" * 72)
+    print("SCENARIO 1: two-stage trojan across sessions")
+    print("=" * 72)
+    monitor = CrossSessionMonitor()
+    image = assemble("/home/user/twostage", TWO_STAGE)
+    monitor.hth.register_binary(image)
+
+    for label, program in (("session 1", image),
+                           ("session 2", "/home/user/twostage")):
+        session = monitor.run_session(program)
+        print(f"\n--- {label}: verdict {session.verdict.value.upper()} ---")
+        for warning in session.warnings:
+            print(warning.render())
+            print()
+
+
+def multi_program_demo() -> None:
+    print("=" * 72)
+    print("SCENARIO 2: dropper/launcher pair, monitored simultaneously")
+    print("=" * 72)
+    monitor = MultiProgramMonitor()
+    monitor.spawn(assemble("/opt/dropper", DROPPER),
+                  argv=["/opt/dropper", "/tmp/part2"])
+    monitor.spawn(assemble("/opt/launcher", LAUNCHER),
+                  argv=["/opt/launcher", "/tmp/part2"])
+    monitor.run()
+    print()
+    for warning in monitor.interaction_warnings():
+        print(warning.render())
+
+
+if __name__ == "__main__":
+    cross_session_demo()
+    multi_program_demo()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Hunting a backdoor daemon — the pma scenario (paper section 8.3.6).
+
+Runs the Poor Man's Access analogue (a daemon relaying a remote
+attacker's shell session through named pipes) twice:
+
+1. in *advisory* mode, where the user lets everything continue and HTH
+   narrates the High warnings;
+2. in *enforcement* mode, where the user kills the program at the first
+   High warning — the attacker never gets a shell.
+
+Run:  python examples/hunt_backdoor_daemon.py
+"""
+
+from repro.programs.exploits.pma import pma_workloads
+from repro.secpert.warnings import Severity
+
+
+def advisory_run() -> None:
+    print("=" * 72)
+    print("ADVISORY MODE: user allows execution, HTH reports")
+    print("=" * 72)
+    workload = pma_workloads()[0]
+    report = workload.run()
+    for warning in report.warnings:
+        print()
+        print(warning.render())
+    print()
+    print(f"verdict: {report.verdict.value.upper()} "
+          f"({len(report.warnings)} warnings)")
+
+
+def enforcement_run() -> None:
+    print()
+    print("=" * 72)
+    print("ENFORCEMENT MODE: user kills on the first High warning")
+    print("=" * 72)
+    workload = pma_workloads()[0]
+    hth = workload.build_machine()
+
+    def decide(warning) -> bool:
+        if warning.severity is Severity.HIGH:
+            print()
+            print("HTH asked for a decision on:")
+            print(warning.render())
+            print("\n-> user chooses to KILL the daemon")
+            return False
+        return True
+
+    hth.harrier.decision = decide
+    report = hth.run(workload.image(), argv=workload.argv)
+    print()
+    print(f"daemon killed by monitor: {report.killed_by_monitor}")
+    # the attacker's command channel never produced output
+    assert report.killed_by_monitor
+
+
+if __name__ == "__main__":
+    advisory_run()
+    enforcement_run()

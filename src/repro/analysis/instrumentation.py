@@ -1,0 +1,85 @@
+"""Instrumentation views (paper Table 3 and Figure 5).
+
+* :data:`GRANULARITY_TABLE` — which instrumentation granularity gathers
+  which information for which policy rule (Table 3), kept as structured
+  data so the benchmark can regenerate the table.
+* :func:`instrumentation_listing` — the Figure 5 view: the original
+  instruction stream annotated with the analysis calls Harrier inserts
+  (Track_DataFlow before data-moving instructions,
+  Collect_BB_Frequency at basic-block leaders, Monitor_SystemCalls
+  before ``int 0x80``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.isa.image import Image
+from repro.isa.instructions import ALU_OPCODES, Imm, Opcode
+
+
+@dataclass(frozen=True)
+class GranularityRow:
+    level: str                 # Architectural / OS (API) / Library (API)
+    policy_rule: str
+    granularity: str
+    information: str
+
+
+#: Table 3, mapped onto this implementation's modules.
+GRANULARITY_TABLE: Tuple[GranularityRow, ...] = (
+    GranularityRow("Architectural events", "Information Flow", "Instruction",
+                   "Data Flow (reg/mem, mem/mem, reg/reg)"),
+    GranularityRow("Architectural events", "Information Flow", "Instruction",
+                   "Hardware Information (CPUID)"),
+    GranularityRow("Architectural events", "Code Frequency", "Basic Block",
+                   "BB frequency"),
+    GranularityRow("OS (API) events", "Execution Flow", "Instruction",
+                   "System Calls (execve)"),
+    GranularityRow("OS (API) events", "Resource Abuse", "Instruction",
+                   "System Calls (clone)"),
+    GranularityRow("OS (API) events", "Information Flow", "Instruction",
+                   "System Calls (IO read/write)"),
+    GranularityRow("OS (API) events", "Information Flow", "Section",
+                   "Binary load"),
+    GranularityRow("OS (API) events", "Information Flow", "Image",
+                   "Binary load"),
+    GranularityRow("OS (API) events", "Information Flow", "Instruction",
+                   "Initial stack location"),
+    GranularityRow("Library (API) events", "Information Flow", "Routine",
+                   "'Short Circuit' Data Flow (getHostByName)"),
+)
+
+#: Opcodes whose execution moves or computes data (get Track_DataFlow).
+_DATA_OPCODES = frozenset(
+    {Opcode.MOV, Opcode.LOAD, Opcode.STORE, Opcode.PUSH, Opcode.POP}
+) | ALU_OPCODES
+
+
+def instrumentation_listing(image: Image) -> List[Tuple[str, str]]:
+    """(original instruction, inserted analysis calls) pairs, Figure 5
+    style.  Analysis calls are rendered before the instruction they
+    precede, joined with newlines in the right-hand column."""
+    rows: List[Tuple[str, str]] = []
+    for offset, instr in enumerate(image.text):
+        inserted: List[str] = []
+        if offset in image.bb_leaders:
+            inserted.append("Call Collect_BB_Frequency")
+        if instr.opcode in _DATA_OPCODES:
+            inserted.append("Call Track_DataFlow")
+        if instr.opcode is Opcode.INT and isinstance(instr.a, Imm) \
+                and instr.a.value == 0x80:
+            inserted.append("Call Monitor_SystemCalls")
+        rows.append((str(instr), "\n".join(inserted)))
+    return rows
+
+
+def render_listing(image: Image) -> str:
+    """Two-column text rendering of :func:`instrumentation_listing`."""
+    lines: List[str] = []
+    for original, inserted in instrumentation_listing(image):
+        for call in inserted.splitlines():
+            lines.append(f"{'':24s}{call}")
+        lines.append(f"{original:24s}")
+    return "\n".join(lines)

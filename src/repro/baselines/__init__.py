@@ -1,0 +1,33 @@
+"""Comparator baselines from the paper's related-work discussion:
+syscall-sequence anomaly detection (stide) and single-bit taint
+tracking (Perl taint mode)."""
+
+from repro.baselines.single_taint import (
+    SingleBitResult,
+    accuracy,
+    classify_events,
+    evaluate_single_bit,
+    hth_accuracy,
+    is_tainted,
+)
+from repro.baselines.stide import (
+    StideDetector,
+    StideEvaluation,
+    SyscallTraceRecorder,
+    evaluate_stide,
+    record_trace,
+)
+
+__all__ = [
+    "StideDetector",
+    "StideEvaluation",
+    "SyscallTraceRecorder",
+    "record_trace",
+    "evaluate_stide",
+    "SingleBitResult",
+    "evaluate_single_bit",
+    "classify_events",
+    "is_tainted",
+    "accuracy",
+    "hth_accuracy",
+]

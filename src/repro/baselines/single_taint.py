@@ -1,0 +1,117 @@
+"""Single-taint-bit baseline (paper section 5.1).
+
+The paper argues that one taint bit — "was this value derived from
+program input?" (Perl taint mode [24], DOG [36], TaintCheck [23]) —
+cannot support the HTH policy, because it cannot distinguish *which*
+source a value came from, and in particular cannot recognize *hardcoded*
+identifiers (untainted values look exactly like safe constants).
+
+This baseline replays Harrier's events through a Perl-taint-mode-style
+policy: flag any sensitive call (execve, file create/write, connect)
+whose resource identifier is *tainted*.  On the Table 6 matrix it inverts
+HTH's answers — user-supplied names get flagged, hardcoded Trojan names
+sail through — which is precisely the ablation the paper's argument
+predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.core.report import RunReport, Verdict
+from repro.harrier.events import (
+    DataTransferEvent,
+    ResourceAccessEvent,
+    SecurityEvent,
+)
+from repro.programs.base import Workload
+from repro.taint.tags import DataSource, TagSet
+
+#: Sources that count as "input" for the single bit (Perl taints anything
+#: that enters the program from outside).
+TAINTED_SOURCES = frozenset(
+    {DataSource.USER_INPUT, DataSource.FILE, DataSource.SOCKET}
+)
+
+#: Calls Perl's taint mode guards (exec, file modification, network).
+SENSITIVE_CALLS = frozenset(
+    {
+        "SYS_execve",
+        "SYS_open",
+        "SYS_creat",
+        "SYS_unlink",
+        "SYS_chmod",
+        "SYS_socketcall:connect",
+    }
+)
+
+
+def is_tainted(tags: TagSet) -> bool:
+    """Collapse a multi-source tag set to the single bit."""
+    return any(tag.source in TAINTED_SOURCES for tag in tags)
+
+
+@dataclass
+class SingleBitResult:
+    name: str
+    flagged: bool
+    flagged_calls: List[str]
+    hth_verdict: Verdict
+    expected_verdict: Verdict
+
+    @property
+    def correct(self) -> bool:
+        return self.flagged == (self.expected_verdict is not Verdict.BENIGN)
+
+    @property
+    def hth_correct(self) -> bool:
+        return self.hth_verdict is self.expected_verdict
+
+
+def classify_events(events: Iterable[SecurityEvent]) -> List[str]:
+    """Perl-taint-mode policy: names of sensitive calls with tainted
+    identifiers."""
+    flagged: List[str] = []
+    for event in events:
+        if isinstance(event, ResourceAccessEvent):
+            if event.call_name in SENSITIVE_CALLS and is_tainted(event.origin):
+                flagged.append(f"{event.call_name}({event.resource.name})")
+        elif isinstance(event, DataTransferEvent):
+            if event.direction == "write" and is_tainted(
+                event.resource_origin
+            ):
+                flagged.append(f"{event.call_name}({event.resource.name})")
+    return flagged
+
+
+def evaluate_single_bit(
+    workloads: Sequence[Workload],
+) -> List[SingleBitResult]:
+    """Run each workload once; judge it with both HTH and the single bit."""
+    results = []
+    for workload in workloads:
+        report: RunReport = workload.run()
+        flagged_calls = classify_events(report.events)
+        results.append(
+            SingleBitResult(
+                name=workload.name,
+                flagged=bool(flagged_calls),
+                flagged_calls=flagged_calls,
+                hth_verdict=report.verdict,
+                expected_verdict=workload.expected_verdict,
+            )
+        )
+    return results
+
+
+def accuracy(results: Sequence[SingleBitResult]) -> float:
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.correct) / len(results)
+
+
+def hth_accuracy(results: Sequence[SingleBitResult]) -> float:
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.hth_correct) / len(results)

@@ -1,0 +1,276 @@
+"""Command-line interface: run guest programs under HTH from the shell.
+
+Usage (also via ``python -m repro``)::
+
+    # run a guest assembly program under the full monitor
+    python -m repro run trojan.s --path /usr/bin/applet \
+        --file /etc/secret="password" --peer evil.example.com:4000 \
+        --arg input.txt --stdin "typed text"
+
+    # static Secure Binary audit (Appendix B)
+    python -m repro audit trojan.s
+
+    # show the instrumented listing (Figure 5 view)
+    python -m repro instrument trojan.s
+
+    # reproduce a paper table
+    python -m repro table 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.instrumentation import render_listing
+from repro.analysis.secure_binary import check_secure_binary
+from repro.core.hth import HTH
+from repro.core.report import RunReport
+from repro.harrier.config import HarrierConfig
+from repro.isa.assembler import AssemblyError, assemble
+from repro.kernel.network import ConversationPeer, SinkPeer
+
+
+def _load_image(source_path: str, guest_path: Optional[str]):
+    path = pathlib.Path(source_path)
+    source = path.read_text()
+    name = guest_path or f"/bin/{path.stem}"
+    return assemble(name, source)
+
+
+def _parse_kv(option: str, value: str) -> tuple:
+    key, sep, rest = value.partition("=")
+    if not sep:
+        raise SystemExit(f"--{option} expects KEY=VALUE, got {value!r}")
+    return key, rest
+
+
+def _apply_run_setup(hth: HTH, args: argparse.Namespace) -> None:
+    for entry in args.file or ():
+        name, content = _parse_kv("file", entry)
+        hth.fs.write_text(name, content)
+    for entry in args.peer or ():
+        host, _, port = entry.partition(":")
+        if not port:
+            raise SystemExit(f"--peer expects HOST:PORT, got {entry!r}")
+        hth.network.add_peer(host, int(port), lambda: SinkPeer(host))
+    for entry in args.serve or ():
+        # HOST:PORT=payload - a peer that pushes payload on connect
+        addr, payload = _parse_kv("serve", entry)
+        host, _, port = addr.partition(":")
+        if not port:
+            raise SystemExit(f"--serve expects HOST:PORT=DATA, got {entry!r}")
+        hth.network.add_peer(
+            host,
+            int(port),
+            lambda payload=payload: ConversationPeer(
+                host, opening=payload.encode()
+            ),
+        )
+
+
+def _print_report(report: RunReport, show_events: bool) -> None:
+    print(f"program : {report.program}")
+    print(f"exit    : {report.exit_code} ({report.result.reason})")
+    print(f"verdict : {report.verdict.value.upper()}")
+    counts = report.warning_counts()
+    print(f"warnings: LOW={counts['LOW']} MEDIUM={counts['MEDIUM']} "
+          f"HIGH={counts['HIGH']}")
+    if report.console_output:
+        print("\n--- console ---")
+        print(report.console_output.rstrip("\n"))
+    if report.warnings:
+        print("\n--- Secpert advice ---")
+        print(report.render_warnings())
+    if show_events:
+        print("\n--- Harrier events ---")
+        for event in report.events:
+            print(event)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    image = _load_image(args.source, args.path)
+    config = HarrierConfig(
+        track_dataflow=not args.no_dataflow,
+        track_bb_frequency=not args.no_bbfreq,
+        complete_dataflow=not args.incomplete_dataflow,
+    )
+    hth = HTH(harrier_config=config)
+    _apply_run_setup(hth, args)
+    report = hth.run(
+        image,
+        argv=[image.name] + list(args.arg or ()),
+        stdin=args.stdin,
+        max_ticks=args.max_ticks,
+    )
+    _print_report(report, args.events)
+    if args.fail_on and report.max_severity is not None:
+        threshold = {"low": 1, "medium": 2, "high": 3}[args.fail_on]
+        if int(report.max_severity) >= threshold:
+            return 1
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    image = _load_image(args.source, args.path)
+    report = check_secure_binary(image)
+    print(report.render())
+    return 0 if report.is_secure else 1
+
+
+def cmd_instrument(args: argparse.Namespace) -> int:
+    image = _load_image(args.source, args.path)
+    print(render_listing(image))
+    return 0
+
+
+_TABLE_BENCHES = {
+    "4": ("repro.programs.micro.execflow", "table4_workloads"),
+    "5": ("repro.programs.micro.resource", "table5_workloads"),
+    "6": ("repro.programs.micro.infoflow", "table6_workloads"),
+    "7": ("repro.programs.trusted.registry", "table7_workloads"),
+    "8": ("repro.programs.exploits.registry", "table8_workloads"),
+    "macro": ("repro.programs.macro.registry", "macro_workloads"),
+    "ext": ("repro.programs.extensions", "extension_workloads"),
+    "scenarios": ("repro.programs.scenarios", "scenario_workloads"),
+}
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, factory_name = _TABLE_BENCHES[args.number]
+    module = importlib.import_module(module_name)
+    workloads = getattr(module, factory_name)()
+    width = max(len(w.name) for w in workloads)
+    failures = 0
+    for workload in workloads:
+        report = workload.run()
+        ok = workload.classified_correctly(report)
+        failures += not ok
+        rules = ",".join(sorted({w.rule for w in report.warnings})) or "-"
+        mark = "ok " if ok else "MISMATCH"
+        print(f"{workload.name:{width}s}  {report.verdict.value:7s} "
+              f"(expected {workload.expected_verdict.value:7s})  "
+              f"{mark}  {rules}")
+    return 1 if failures else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run every evaluation table and write one consolidated report."""
+    import importlib
+
+    lines = [
+        "# HTH reproduction report",
+        "",
+        "Generated by `python -m repro report`.",
+        "",
+    ]
+    failures = 0
+    for key in ("4", "5", "6", "7", "8", "macro", "ext", "scenarios"):
+        module_name, factory_name = _TABLE_BENCHES[key]
+        module = importlib.import_module(module_name)
+        workloads = getattr(module, factory_name)()
+        title = f"Table {key}" if key.isdigit() else key
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| benchmark | expected | measured | rules | match |")
+        lines.append("|---|---|---|---|---|")
+        for workload in workloads:
+            report = workload.run()
+            ok = workload.classified_correctly(report)
+            failures += not ok
+            rules = ", ".join(
+                sorted({w.rule for w in report.warnings})
+            ) or "—"
+            lines.append(
+                f"| {workload.name} | {workload.expected_verdict.value} "
+                f"| {report.verdict.value} | {rules} "
+                f"| {'yes' if ok else 'NO'} |"
+            )
+        lines.append("")
+    text = "\n".join(lines) + "\n"
+    out_path = pathlib.Path(args.output)
+    out_path.write_text(text.replace("\n", chr(10)))
+    print(f"wrote {out_path} ({failures} mismatches)")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HTH (Hunting Trojan Horses) — run guest programs "
+                    "under the Harrier/Secpert monitor",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a guest program under HTH")
+    run.add_argument("source", help="guest assembly file (.s)")
+    run.add_argument("--path", help="guest path identity for the binary")
+    run.add_argument("--arg", action="append", help="argv entry (repeat)")
+    run.add_argument("--stdin", help="scripted user input")
+    run.add_argument("--file", action="append", metavar="PATH=CONTENT",
+                     help="seed a file in the simulated fs (repeat)")
+    run.add_argument("--peer", action="append", metavar="HOST:PORT",
+                     help="register a data-sink peer (repeat)")
+    run.add_argument("--serve", action="append",
+                     metavar="HOST:PORT=DATA",
+                     help="register a peer that pushes DATA on connect")
+    run.add_argument("--events", action="store_true",
+                     help="dump the raw Harrier event log")
+    run.add_argument("--no-dataflow", action="store_true",
+                     help="disable instruction-level taint tracking")
+    run.add_argument("--no-bbfreq", action="store_true",
+                     help="disable basic-block frequency counting")
+    run.add_argument("--incomplete-dataflow", action="store_true",
+                     help="emulate the paper's incomplete prototype")
+    run.add_argument("--max-ticks", type=int, default=5_000_000)
+    run.add_argument("--fail-on", choices=("low", "medium", "high"),
+                     help="exit nonzero when warnings reach this severity")
+    run.set_defaults(func=cmd_run)
+
+    audit = sub.add_parser(
+        "audit", help="Secure Binary static check (Appendix B)"
+    )
+    audit.add_argument("source")
+    audit.add_argument("--path")
+    audit.set_defaults(func=cmd_audit)
+
+    instrument = sub.add_parser(
+        "instrument", help="show the instrumented listing (Figure 5)"
+    )
+    instrument.add_argument("source")
+    instrument.add_argument("--path")
+    instrument.set_defaults(func=cmd_instrument)
+
+    table = sub.add_parser(
+        "table", help="reproduce one of the paper's evaluation tables"
+    )
+    table.add_argument("number", choices=sorted(_TABLE_BENCHES))
+    table.set_defaults(func=cmd_table)
+
+    report = sub.add_parser(
+        "report", help="run every table and write a consolidated report"
+    )
+    report.add_argument("-o", "--output", default="hth_report.md")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except AssemblyError as exc:
+        print(f"assembly error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""HTH core: the public facade over the whole framework."""
+
+from repro.core.hth import HTH, STANDARD_BINARIES, run_monitored, stub_binary
+from repro.core.report import RunReport, Verdict
+
+__all__ = [
+    "HTH",
+    "run_monitored",
+    "stub_binary",
+    "STANDARD_BINARIES",
+    "RunReport",
+    "Verdict",
+]

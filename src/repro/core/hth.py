@@ -1,0 +1,164 @@
+"""The HTH framework facade (paper Figure 1).
+
+Wires the full stack — simulated kernel, Harrier monitor, Secpert expert
+system — and exposes a one-call interface::
+
+    hth = HTH()
+    hth.fs.write_text("/etc/secret", "...")
+    report = hth.run(program_image, argv=["prog"])
+    assert report.verdict is Verdict.HIGH
+
+One HTH instance models one monitored machine; create a fresh instance
+per experiment run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.report import RunReport, Verdict
+from repro.harrier.analyzer import DecisionPolicy, always_continue
+from repro.harrier.config import HarrierConfig
+from repro.harrier.monitor import Harrier
+from repro.isa.assembler import assemble
+from repro.isa.image import Image
+from repro.kernel.console import Console
+from repro.kernel.filesystem import FileSystem
+from repro.kernel.kernel import Kernel
+from repro.kernel.network import Network
+from repro.programs.libc import libc_image
+from repro.secpert.policy import PolicyConfig
+from repro.secpert.secpert import Secpert
+
+#: Paths commonly exec'd by the paper's workloads; HTH pre-registers tiny
+#: stub binaries for them so execve targets exist (detection happens at
+#: the execve *event*, before the new image runs).
+STANDARD_BINARIES = (
+    "/bin/sh",
+    "/bin/ls",
+    "/bin/cat",
+    "/bin/date",
+    "/bin/su",
+    "/bin/ping",
+    "/usr/bin/crontab",
+    "/usr/sbin/sendmail",
+)
+
+_STUB_SOURCE = """
+main:
+    mov eax, 0
+    ret
+"""
+
+
+@lru_cache(maxsize=64)
+def stub_binary(path: str) -> Image:
+    """A minimal executable that immediately exits successfully."""
+    return assemble(path, _STUB_SOURCE)
+
+
+class HTH:
+    def __init__(
+        self,
+        policy: Optional[PolicyConfig] = None,
+        harrier_config: Optional[HarrierConfig] = None,
+        decision: DecisionPolicy = always_continue,
+        libraries: Optional[Sequence[Image]] = None,
+        monitored: bool = True,
+        install_stubs: bool = True,
+        analyzer=None,
+    ) -> None:
+        self.policy = policy or PolicyConfig()
+        #: The analysis side: Secpert by default, or any EventAnalyzer
+        #: exposing a ``warnings`` list (e.g. the cross-session or
+        #: multi-program wrappers).
+        self.analyzer = analyzer if analyzer is not None else Secpert(
+            self.policy
+        )
+        self.secpert = self.analyzer if isinstance(
+            self.analyzer, Secpert
+        ) else getattr(self.analyzer, "secpert", None)
+        self.harrier = Harrier(
+            analyzer=self.analyzer,
+            config=harrier_config,
+            decision=decision,
+        )
+        libs = list(libraries) if libraries is not None else [libc_image()]
+        hooks = self.harrier if monitored else None
+        self.kernel = Kernel(hooks=hooks, libraries=libs)
+        self.harrier.bind(self.kernel)
+        if install_stubs:
+            for path in STANDARD_BINARIES:
+                self.kernel.register_binary(stub_binary(path))
+
+    # -- convenient access to the simulated machine -----------------------
+    @property
+    def fs(self) -> FileSystem:
+        return self.kernel.fs
+
+    @property
+    def network(self) -> Network:
+        return self.kernel.network
+
+    @property
+    def console(self) -> Console:
+        return self.kernel.console
+
+    def register_binary(self, image: Image, path: Optional[str] = None) -> str:
+        return self.kernel.register_binary(image, path)
+
+    def provide_input(self, data: Union[str, bytes]) -> None:
+        self.kernel.console.provide_input(data)
+
+    # -- running ----------------------------------------------------------
+    def run(
+        self,
+        program: Union[str, Image],
+        argv: Optional[Sequence[str]] = None,
+        env: Optional[Dict[str, str]] = None,
+        stdin: Optional[Union[str, bytes]] = None,
+        max_ticks: int = 5_000_000,
+    ) -> RunReport:
+        """Spawn ``program``, run to completion, and report."""
+        if stdin is not None:
+            self.provide_input(stdin)
+        self.kernel.write_hosts_file()
+        proc = self.kernel.spawn(program, argv=argv, env=env)
+        result = self.kernel.run(max_ticks=max_ticks)
+        return RunReport(
+            program=proc.command,
+            argv=list(proc.argv),
+            result=result,
+            warnings=list(getattr(self.analyzer, "warnings", [])),
+            events=list(self.harrier.events),
+            console_output=self.kernel.console.output_text(),
+            exit_code=proc.exit_code,
+            killed_by_monitor=proc.killed_by_monitor,
+            faults=self.kernel.faults(),
+        )
+
+
+def run_monitored(
+    program: Union[str, Image],
+    argv: Optional[Sequence[str]] = None,
+    env: Optional[Dict[str, str]] = None,
+    stdin: Optional[Union[str, bytes]] = None,
+    setup=None,
+    policy: Optional[PolicyConfig] = None,
+    harrier_config: Optional[HarrierConfig] = None,
+    decision: DecisionPolicy = always_continue,
+    max_ticks: int = 5_000_000,
+) -> RunReport:
+    """One-shot convenience: build an HTH machine, run, report.
+
+    ``setup(hth)`` runs before the program (seed files, register peers...).
+    """
+    hth = HTH(
+        policy=policy, harrier_config=harrier_config, decision=decision
+    )
+    if setup is not None:
+        setup(hth)
+    return hth.run(
+        program, argv=argv, env=env, stdin=stdin, max_ticks=max_ticks
+    )

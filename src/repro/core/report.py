@@ -1,0 +1,85 @@
+"""Run reports and verdicts."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.harrier.events import SecurityEvent
+from repro.kernel.kernel import RunResult
+from repro.secpert.warnings import SecurityWarning, Severity
+
+
+class Verdict(enum.Enum):
+    """Classification of one monitored run by its strongest warning."""
+
+    BENIGN = "benign"        # no warnings at all
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @classmethod
+    def from_severity(cls, severity: Optional[Severity]) -> "Verdict":
+        if severity is None:
+            return cls.BENIGN
+        return {
+            Severity.LOW: cls.LOW,
+            Severity.MEDIUM: cls.MEDIUM,
+            Severity.HIGH: cls.HIGH,
+        }[severity]
+
+    @property
+    def flagged(self) -> bool:
+        return self is not Verdict.BENIGN
+
+
+@dataclass
+class RunReport:
+    """Everything HTH observed about one program run."""
+
+    program: str
+    argv: List[str]
+    result: RunResult
+    warnings: List[SecurityWarning]
+    events: List[SecurityEvent]
+    console_output: str
+    exit_code: Optional[int]
+    killed_by_monitor: bool = False
+    faults: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.warnings:
+            return None
+        return max(w.severity for w in self.warnings)
+
+    @property
+    def verdict(self) -> Verdict:
+        return Verdict.from_severity(self.max_severity)
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.warnings)
+
+    def warning_counts(self) -> Dict[str, int]:
+        counts = {"LOW": 0, "MEDIUM": 0, "HIGH": 0}
+        for warning in self.warnings:
+            counts[warning.severity.label()] += 1
+        return counts
+
+    def warnings_by_rule(self, rule: str) -> List[SecurityWarning]:
+        return [w for w in self.warnings if w.rule == rule]
+
+    def render_warnings(self) -> str:
+        return "\n\n".join(w.render() for w in self.warnings)
+
+    def summary_line(self) -> str:
+        counts = self.warning_counts()
+        graded = " ".join(
+            f"{label}={count}" for label, count in counts.items() if count
+        )
+        return (
+            f"{self.program}: verdict={self.verdict.value}"
+            + (f" ({graded})" if graded else "")
+        )

@@ -1,0 +1,167 @@
+"""Rule left-hand sides: patterns, variables, tests, negation.
+
+A rule's LHS is an ordered list of conditional elements:
+
+* :class:`Pattern` — match one fact of a template, constraining slots with
+  literals, variables (``V("x")``), or predicates;
+* :class:`Test` — a predicate over the bindings accumulated so far
+  (CLIPS ``(test ...)``);
+* :class:`Not` — no fact matches the given pattern under the current
+  bindings (CLIPS ``(not ...)``).
+
+Matching is naive join (facts are few per Secpert event), with variable
+bindings threaded left to right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.expert.template import Fact
+
+Bindings = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class V:
+    """A variable: binds on first use, must match on later uses."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class P:
+    """A predicate constraint: ``P(lambda value, bindings: ...)``.
+
+    One-argument callables are also accepted (value only).
+    """
+
+    fn: Callable[..., bool]
+
+    def check(self, value: Any, bindings: Bindings) -> bool:
+        try:
+            return bool(self.fn(value, bindings))
+        except TypeError:
+            return bool(self.fn(value))
+
+
+class Pattern:
+    """Match a fact of ``template`` with per-slot constraints.
+
+    ``bind_as`` binds the whole fact to a name (CLIPS ``?f <- (...)``),
+    so actions can retract it.
+    """
+
+    def __init__(
+        self,
+        template: str,
+        bind_as: Optional[str] = None,
+        **constraints: Any,
+    ) -> None:
+        self.template = template
+        self.bind_as = bind_as
+        self.constraints = constraints
+
+    def match(self, fact: Fact, bindings: Bindings) -> Optional[Bindings]:
+        """Return extended bindings when ``fact`` matches, else None."""
+        if fact.name != self.template:
+            return None
+        new_bindings: Optional[Bindings] = None
+
+        def ensure() -> Bindings:
+            nonlocal new_bindings
+            if new_bindings is None:
+                new_bindings = dict(bindings)
+            return new_bindings
+
+        for slot, constraint in self.constraints.items():
+            if slot not in fact.template.slots:
+                return None
+            value = fact.values[slot]
+            if isinstance(constraint, V):
+                scope = new_bindings if new_bindings is not None else bindings
+                if constraint.name in scope:
+                    if scope[constraint.name] != value:
+                        return None
+                else:
+                    ensure()[constraint.name] = value
+            elif isinstance(constraint, P):
+                scope = new_bindings if new_bindings is not None else bindings
+                if not constraint.check(value, scope):
+                    return None
+            else:  # literal
+                if value != constraint:
+                    return None
+        result = new_bindings if new_bindings is not None else dict(bindings)
+        if self.bind_as is not None:
+            result = dict(result)
+            result[self.bind_as] = fact
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Pattern({self.template!r}, {self.constraints})"
+
+
+@dataclass(frozen=True)
+class Test:
+    """Predicate over the bindings (no fact consumed)."""
+
+    # Tell pytest this production-system class is not a test-case class.
+    __test__ = False
+
+    fn: Callable[[Bindings], bool]
+
+    def holds(self, bindings: Bindings) -> bool:
+        return bool(self.fn(bindings))
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation as failure over one pattern."""
+
+    pattern: Pattern
+
+    def holds(self, facts: Iterable[Fact], bindings: Bindings) -> bool:
+        for fact in facts:
+            if self.pattern.match(fact, bindings) is not None:
+                return False
+        return True
+
+
+ConditionalElement = Any  # Pattern | Test | Not
+
+
+def match_lhs(
+    lhs: List[ConditionalElement], facts: List[Fact]
+) -> List[Dict[str, Any]]:
+    """All (bindings, matched-fact) combinations satisfying ``lhs``.
+
+    Returns a list of dicts with keys ``bindings`` and ``facts`` (the
+    Pattern-matched facts, in LHS order).
+    """
+    results: List[Dict[str, Any]] = []
+
+    def extend(index: int, bindings: Bindings, matched: List[Fact]) -> None:
+        if index == len(lhs):
+            results.append({"bindings": bindings, "facts": list(matched)})
+            return
+        element = lhs[index]
+        if isinstance(element, Pattern):
+            for fact in facts:
+                extended = element.match(fact, bindings)
+                if extended is not None:
+                    matched.append(fact)
+                    extend(index + 1, extended, matched)
+                    matched.pop()
+        elif isinstance(element, Test):
+            if element.holds(bindings):
+                extend(index + 1, bindings, matched)
+        elif isinstance(element, Not):
+            if element.holds(facts, bindings):
+                extend(index + 1, bindings, matched)
+        else:
+            raise TypeError(f"bad conditional element {element!r}")
+
+    extend(0, {}, [])
+    return results

@@ -1,0 +1,193 @@
+"""Forward-chaining inference engine (the CLIPS core, paper section 6.2.1).
+
+Data-driven execution: rules whose LHS is satisfied by the working memory
+are *activated*; the agenda orders activations by salience (then recency)
+and fires the top one; firing may assert/retract facts, which recomputes
+activations.  Refraction guarantees an activation fires at most once for a
+given combination of facts, so rules do not loop on stable memory.
+
+The engine also records a fire trace — CLIPS's headline advantage over
+black-box classifiers is that "an expert system can give the user all of
+the information that was used to reach its conclusion" (section 6.2.1),
+and :class:`FiredRule` is exactly that record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.expert.conditions import ConditionalElement, match_lhs
+from repro.expert.template import Fact, Template
+
+
+class EngineError(Exception):
+    pass
+
+
+@dataclass
+class Rule:
+    """A production: LHS conditional elements plus an RHS action."""
+
+    name: str
+    lhs: List[ConditionalElement]
+    action: Callable[["RuleContext"], None]
+    salience: int = 0
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class Activation:
+    rule: Rule
+    facts: Tuple[Fact, ...]
+    bindings: Dict[str, Any] = field(compare=False, hash=False)
+
+    def key(self) -> Tuple[str, Tuple[int, ...]]:
+        return (self.rule.name, tuple(f.fact_id for f in self.facts))
+
+    def recency(self) -> int:
+        return max((f.recency for f in self.facts), default=0)
+
+
+@dataclass(frozen=True)
+class FiredRule:
+    """Trace record: which rule fired on which facts with which bindings."""
+
+    rule_name: str
+    fact_ids: Tuple[int, ...]
+    bindings: Dict[str, Any]
+
+    def __str__(self) -> str:
+        ids = ",".join(f"f-{i}" for i in self.fact_ids)
+        return f"FIRE {self.rule_name}: {ids}"
+
+
+class RuleContext:
+    """What an action sees: the engine, its bindings, the matched facts."""
+
+    def __init__(
+        self,
+        engine: "InferenceEngine",
+        bindings: Dict[str, Any],
+        facts: Sequence[Fact],
+    ) -> None:
+        self.engine = engine
+        self.bindings = bindings
+        self.facts = list(facts)
+
+    def __getitem__(self, var: str) -> Any:
+        return self.bindings[var]
+
+    def get(self, var: str, default: Any = None) -> Any:
+        return self.bindings.get(var, default)
+
+    def assert_fact(self, fact: Fact) -> Fact:
+        return self.engine.assert_fact(fact)
+
+    def retract(self, fact: Fact) -> None:
+        self.engine.retract(fact)
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        return self.engine.context
+
+
+class InferenceEngine:
+    def __init__(self) -> None:
+        self.templates: Dict[str, Template] = {}
+        self.rules: List[Rule] = []
+        self._facts: Dict[int, Fact] = {}
+        self._next_fact_id = 1
+        self._recency = 0
+        self._fired: Set[Tuple[str, Tuple[int, ...]]] = set()
+        self.fire_trace: List[FiredRule] = []
+        #: Free-form context shared with rule actions (Secpert stores the
+        #: warning sink and policy config here).
+        self.context: Dict[str, Any] = {}
+
+    # -- definitions ---------------------------------------------------------
+    def define_template(self, template: Template) -> Template:
+        if template.name in self.templates:
+            raise EngineError(f"duplicate template {template.name!r}")
+        self.templates[template.name] = template
+        return template
+
+    def add_rule(self, rule: Rule) -> Rule:
+        if any(r.name == rule.name for r in self.rules):
+            raise EngineError(f"duplicate rule {rule.name!r}")
+        self.rules.append(rule)
+        return rule
+
+    # -- working memory ----------------------------------------------------------
+    def assert_fact(self, fact: Fact) -> Fact:
+        if fact.name not in self.templates:
+            raise EngineError(f"assert of unknown template {fact.name!r}")
+        if fact.fact_id is not None:
+            raise EngineError(f"fact already asserted: {fact!r}")
+        fact.fact_id = self._next_fact_id
+        self._next_fact_id += 1
+        self._recency += 1
+        fact.recency = self._recency
+        self._facts[fact.fact_id] = fact
+        return fact
+
+    def retract(self, fact: Fact) -> None:
+        if fact.fact_id is None or fact.fact_id not in self._facts:
+            raise EngineError(f"retract of non-asserted fact {fact!r}")
+        del self._facts[fact.fact_id]
+
+    def facts(self, template: Optional[str] = None) -> List[Fact]:
+        out = list(self._facts.values())
+        if template is not None:
+            out = [f for f in out if f.name == template]
+        return out
+
+    def clear_facts(self) -> None:
+        self._facts.clear()
+        self._fired.clear()
+
+    def reset(self) -> None:
+        """CLIPS (reset): wipe facts, refraction memory, and trace."""
+        self.clear_facts()
+        self.fire_trace.clear()
+
+    # -- agenda -----------------------------------------------------------------
+    def agenda(self) -> List[Activation]:
+        facts = list(self._facts.values())
+        activations: List[Activation] = []
+        for rule in self.rules:
+            for match in match_lhs(rule.lhs, facts):
+                activation = Activation(
+                    rule=rule,
+                    facts=tuple(match["facts"]),
+                    bindings=match["bindings"],
+                )
+                if activation.key() not in self._fired:
+                    activations.append(activation)
+        activations.sort(
+            key=lambda a: (a.rule.salience, a.recency()), reverse=True
+        )
+        return activations
+
+    def run(self, limit: int = 10_000) -> int:
+        """Fire until quiescent; returns the number of rules fired."""
+        fired = 0
+        while fired < limit:
+            agenda = self.agenda()
+            if not agenda:
+                break
+            activation = agenda[0]
+            self._fired.add(activation.key())
+            self.fire_trace.append(
+                FiredRule(
+                    rule_name=activation.rule.name,
+                    fact_ids=tuple(f.fact_id for f in activation.facts),
+                    bindings=dict(activation.bindings),
+                )
+            )
+            context = RuleContext(self, activation.bindings, activation.facts)
+            activation.rule.action(context)
+            fired += 1
+        else:
+            raise EngineError(f"run() exceeded fire limit ({limit})")
+        return fired

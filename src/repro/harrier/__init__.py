@@ -1,0 +1,54 @@
+"""Harrier: the run-time monitoring half of HTH (paper section 7).
+
+Public surface: the :class:`Harrier` monitor (a :class:`KernelHooks`
+implementation), its configuration, the event types it emits, and the
+analyzer interface the policy side implements.
+"""
+
+from repro.harrier.analyzer import (
+    CollectingAnalyzer,
+    DecisionPolicy,
+    EventAnalyzer,
+    always_continue,
+    always_kill,
+)
+from repro.harrier.bbfreq import CodeExecutionPatterns
+from repro.harrier.config import DEFAULT_TRUSTED_IMAGES, HarrierConfig
+from repro.harrier.content import sniff_content
+from repro.harrier.dataflow import InstructionDataFlow
+from repro.harrier.events import (
+    DataTransferEvent,
+    MemoryEvent,
+    ProcessEvent,
+    ResourceAccessEvent,
+    ResourceId,
+    SecurityEvent,
+)
+from repro.harrier.monitor import Harrier
+from repro.harrier.routines import RoutineShortCircuit
+from repro.harrier.state import ProcessShadow, ShortCircuitFrame
+from repro.harrier.syscall_events import SyscallEventGenerator
+
+__all__ = [
+    "Harrier",
+    "HarrierConfig",
+    "DEFAULT_TRUSTED_IMAGES",
+    "EventAnalyzer",
+    "CollectingAnalyzer",
+    "DecisionPolicy",
+    "always_continue",
+    "always_kill",
+    "SecurityEvent",
+    "ResourceAccessEvent",
+    "DataTransferEvent",
+    "MemoryEvent",
+    "ProcessEvent",
+    "ResourceId",
+    "ProcessShadow",
+    "ShortCircuitFrame",
+    "InstructionDataFlow",
+    "CodeExecutionPatterns",
+    "RoutineShortCircuit",
+    "SyscallEventGenerator",
+    "sniff_content",
+]

@@ -1,0 +1,91 @@
+"""Instruction-level dataflow tracking (paper section 7.3.1).
+
+Replays the CPU's :class:`TaintTransfer` records over the process shadow
+state.  The interesting cases, matching the paper's examples:
+
+* ``mov %esp,%ebp`` — destination inherits the source register's tags;
+* ``movl $0x4, mem`` — an immediate carries the BINARY tag of the image
+  that contains the instruction;
+* ``add %ebx,%eax`` — destination gets the *union* of both operands' tags;
+* ``cpuid`` — the output registers get the HARDWARE tag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.harrier.state import ProcessShadow
+from repro.isa.cpu import StepResult
+from repro.taint.tags import EMPTY, DataSource, TagSet
+
+_HARDWARE = TagSet.of(DataSource.HARDWARE)
+
+
+class InstructionDataFlow:
+    """Stateless transfer interpreter (tag caches only)."""
+
+    def __init__(self) -> None:
+        self._binary_tags: Dict[str, TagSet] = {}
+
+    def binary_tag(self, image_name: str) -> TagSet:
+        tags = self._binary_tags.get(image_name)
+        if tags is None:
+            tags = TagSet.of(DataSource.BINARY, image_name)
+            self._binary_tags[image_name] = tags
+        return tags
+
+    def apply(self, shadow: ProcessShadow, step: StepResult) -> None:
+        transfers = step.transfers
+        if not transfers:
+            return
+        regs = shadow.regs
+        memory = shadow.memory
+        imm_tags: TagSet = None  # lazily resolved per step
+        for transfer in transfers:
+            tags = EMPTY
+            for src in transfer.srcs:
+                kind = src[0]
+                if kind == "reg":
+                    tags = tags.union(regs.get(src[1]))
+                elif kind == "mem":
+                    tags = tags.union(memory.get(src[1]))
+                elif kind == "imm":
+                    if imm_tags is None:
+                        image = shadow.code_image.get(step.pc)
+                        imm_tags = (
+                            self.binary_tag(image.name)
+                            if image is not None
+                            else EMPTY
+                        )
+                    tags = tags.union(imm_tags)
+                elif kind == "hardware":
+                    tags = tags.union(_HARDWARE)
+                # 'zero' contributes nothing (xor r,r / call return slots)
+            dst = transfer.dst
+            if dst[0] == "reg":
+                regs.set(dst[1], tags)
+            else:
+                memory.set(dst[1], tags)
+
+    # -- helpers used by the event generator --------------------------------
+    @staticmethod
+    def string_tags(proc, shadow: ProcessShadow, addr: int,
+                    max_len: int = 4096) -> TagSet:
+        """Union of shadow tags over the NUL-terminated string at ``addr``.
+
+        This is "the data source of the resource ID" (paper section 5.1):
+        e.g. the provenance of a file-name string passed to open().
+        """
+        tags = EMPTY
+        memory = proc.memory
+        shadow_mem = shadow.memory
+        for i in range(max_len):
+            if memory.read(addr + i) == 0:
+                break
+            tags = tags.union(shadow_mem.get(addr + i))
+        return tags
+
+    @staticmethod
+    def range_tags(shadow: ProcessShadow, start: int, length: int) -> TagSet:
+        """Union of shadow tags over [start, start+length)."""
+        return shadow.memory.union_of_range(start, length)

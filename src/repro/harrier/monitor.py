@@ -1,0 +1,175 @@
+"""Harrier: the run-time monitor (paper section 7).
+
+Harrier virtualizes the application (Figure 4): it receives every
+architectural, OS, and library-level event from the simulated kernel
+through the :class:`KernelHooks` interface and
+
+* propagates multi-source taint per instruction (``InstructionDataFlow``),
+* counts application basic-block executions (``CodeExecutionPatterns``),
+* short-circuits name-translating library routines (``RoutineShortCircuit``),
+* tags loaded binaries BINARY and the initial stack USER INPUT,
+* generates semantic events at syscalls (``SyscallEventGenerator``) and
+  forwards them to the analyzer (Secpert), pausing the process until the
+  analysis — and, on a warning, the user's continue/kill decision — is in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.harrier.analyzer import (
+    DecisionPolicy,
+    EventAnalyzer,
+    always_continue,
+)
+from repro.harrier.bbfreq import CodeExecutionPatterns
+from repro.harrier.config import HarrierConfig
+from repro.harrier.dataflow import InstructionDataFlow
+from repro.harrier.events import SecurityEvent
+from repro.harrier.routines import RoutineShortCircuit
+from repro.harrier.state import ProcessShadow
+from repro.harrier.syscall_events import SyscallEventGenerator
+from repro.isa.cpu import StepResult
+from repro.kernel.hooks import KernelHooks
+from repro.kernel.kernel import Kernel
+from repro.kernel.loader import LoadedImage
+from repro.kernel.process import Process
+from repro.taint.tags import DataSource, TagSet
+
+_SHADOW_KEY = "harrier.shadow"
+
+
+class Harrier(KernelHooks):
+    def __init__(
+        self,
+        analyzer: Optional[EventAnalyzer] = None,
+        config: Optional[HarrierConfig] = None,
+        decision: DecisionPolicy = always_continue,
+    ) -> None:
+        self.analyzer = analyzer or EventAnalyzer()
+        self.config = config or HarrierConfig()
+        self.decision = decision
+        self.dataflow = InstructionDataFlow()
+        self.bbfreq = CodeExecutionPatterns()
+        self.routines = RoutineShortCircuit(self.dataflow)
+        self.event_gen = SyscallEventGenerator(
+            self.config, self.dataflow, self.bbfreq
+        )
+        self.kernel: Optional[Kernel] = None
+        #: Every event emitted, in order (when keep_event_log is set).
+        self.events: List[SecurityEvent] = []
+        #: (event, warning) pairs where the decision policy said "kill".
+        self.kills: List[Tuple[SecurityEvent, object]] = []
+
+    # -- wiring -------------------------------------------------------------
+    def bind(self, kernel: Kernel) -> "Harrier":
+        """Associate with the kernel whose hooks we implement."""
+        self.kernel = kernel
+        return self
+
+    def shadow(self, proc: Process) -> ProcessShadow:
+        shadow = proc.meta.get(_SHADOW_KEY)
+        if shadow is None:
+            shadow = ProcessShadow()
+            proc.meta[_SHADOW_KEY] = shadow
+        return shadow
+
+    @property
+    def _now(self) -> int:
+        return self.kernel.now if self.kernel is not None else 0
+
+    # -- loader events (sections 7.3.2 / 7.3.3) ------------------------------
+    def on_image_load(self, proc: Process, loaded: LoadedImage) -> None:
+        shadow = self.shadow(proc)
+        image_name = loaded.name
+        is_app = loaded.is_app and image_name not in self.config.trusted_images
+        leaders = shadow.app_leaders if is_app else shadow.lib_leaders
+        for addr in loaded.abs_bb_leaders():
+            leaders[addr] = True
+        for addr in range(loaded.text_start, loaded.text_end):
+            shadow.code_image[addr] = loaded
+        for symbol in self.config.short_circuit_symbols:
+            addr = loaded.symbol_addr(symbol)
+            if addr is not None:
+                shadow.routine_addrs[addr] = symbol
+        if self.config.track_dataflow:
+            binary_tags = self.dataflow.binary_tag(image_name)
+            shadow.memory.set_range(
+                loaded.data_start,
+                loaded.end - loaded.data_start,
+                binary_tags,
+            )
+
+    def on_initial_stack(self, proc: Process, start: int, end: int) -> None:
+        if not self.config.track_dataflow:
+            return
+        if self.config.complete_dataflow:
+            tags = TagSet.of(DataSource.USER_INPUT)
+        else:
+            tags = self.dataflow.binary_tag(proc.command)
+        self.shadow(proc).memory.set_range(start, end - start, tags)
+
+    # -- per-instruction events (section 7.3.1 / 7.4 / 7.2) --------------------
+    def on_instruction(self, proc: Process, step: StepResult) -> None:
+        shadow = proc.meta.get(_SHADOW_KEY)
+        if shadow is None:
+            shadow = self.shadow(proc)
+        if self.config.track_dataflow:
+            self.dataflow.apply(shadow, step)
+            if self.config.short_circuit_routines:
+                self.routines.on_step(proc, shadow, step)
+        if self.config.track_bb_frequency:
+            self.bbfreq.observe(shadow, step.pc)
+
+    # -- syscall events (section 7.1) -----------------------------------------
+    def on_syscall_pre(
+        self,
+        proc: Process,
+        sysno: int,
+        args: Tuple[int, int, int, int, int],
+        info: Dict[str, object],
+    ) -> bool:
+        shadow = self.shadow(proc)
+        events = self.event_gen.pre_events(
+            proc, shadow, self._now, sysno, args, info
+        )
+        return self._dispatch(events)
+
+    def on_syscall_post(
+        self,
+        proc: Process,
+        sysno: int,
+        args: Tuple[int, int, int, int, int],
+        result: int,
+        info: Dict[str, object],
+    ) -> None:
+        shadow = self.shadow(proc)
+        events = self.event_gen.post_effects(
+            proc, shadow, self._now, sysno, args, result, info
+        )
+        # Post events cannot veto (the call already happened) but still
+        # feed the analysis and may warn.
+        self._dispatch(events)
+
+    def _dispatch(self, events: List[SecurityEvent]) -> bool:
+        proceed = True
+        for event in events:
+            if self.config.keep_event_log:
+                self.events.append(event)
+            for warning in self.analyzer.analyze(event):
+                if not self.decision(warning):
+                    self.kills.append((event, warning))
+                    proceed = False
+        return proceed
+
+    # -- process lifecycle -------------------------------------------------------
+    def on_fork(self, parent: Process, child: Process) -> None:
+        parent_shadow = self.shadow(parent)
+        child.meta[_SHADOW_KEY] = parent_shadow.copy_for_fork()
+
+    def on_exec(self, proc: Process, path: str) -> None:
+        self.shadow(proc).reset_for_exec()
+
+    # -- inspection ---------------------------------------------------------------
+    def events_named(self, call_name: str) -> List[SecurityEvent]:
+        return [e for e in self.events if e.call_name == call_name]

@@ -1,0 +1,92 @@
+"""Per-process monitor state: shadow tags, BB counters, routine frames."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel.loader import LoadedImage
+from repro.taint.shadow import ShadowMemory, ShadowRegisters
+from repro.taint.tags import TagSet
+
+
+@dataclass
+class ShortCircuitFrame:
+    """An in-flight call to a short-circuited routine (section 7.2)."""
+
+    symbol: str
+    return_addr: int
+    #: esp value expected right after the matching RET executes.
+    sp_after_ret: int
+    #: Tag of the routine's *input name* — copied onto the result.
+    tags: TagSet
+
+
+@dataclass
+class ProcessShadow:
+    """Everything Harrier remembers about one process."""
+
+    regs: ShadowRegisters = field(default_factory=ShadowRegisters)
+    memory: ShadowMemory = field(default_factory=ShadowMemory)
+    #: Execution count per application basic-block address.
+    bb_counts: Dict[int, int] = field(default_factory=dict)
+    #: Address of the most recent *application* basic block (section 7.4).
+    last_app_bb: Optional[int] = None
+    #: Leader address -> True for application images (fast per-step lookup).
+    app_leaders: Dict[int, bool] = field(default_factory=dict)
+    #: Leader addresses of non-app (shared object / shim) images.
+    lib_leaders: Dict[int, bool] = field(default_factory=dict)
+    #: Absolute address -> image, for immediates' BINARY tags.
+    code_image: Dict[int, LoadedImage] = field(default_factory=dict)
+    #: Addresses of short-circuited routines -> symbol name.
+    routine_addrs: Dict[int, str] = field(default_factory=dict)
+    frames: List[ShortCircuitFrame] = field(default_factory=list)
+    #: (DataSource, resource name) -> origin tags of that resource's *name*
+    #: (recorded at open/connect time; the "resource ID data source" of
+    #: paper section 5.1, looked up when the resource later appears as a
+    #: data *source* in a transfer).
+    resource_origins: Dict[tuple, TagSet] = field(default_factory=dict)
+    #: Accepted-connection peer name -> (server address, server-address
+    #: origin) for "this program has opened a socket for remote
+    #: connections" context in warnings (the pma case, section 8.3.6).
+    server_sockets: Dict[str, tuple] = field(default_factory=dict)
+    #: Times (virtual) at which this program created processes —
+    #: shared across fork so the whole program is rated together.
+    clone_times: List[int] = field(default_factory=list)
+
+    def copy_for_fork(self) -> "ProcessShadow":
+        """Child's view at fork: private tags/counters, shared clone log.
+
+        The clone-time list is intentionally *shared* (the tree forker's
+        children each fork once; the abuse is visible only program-wide,
+        which is also how the kernel-side observer in the paper sees it).
+        """
+        dup = ProcessShadow(
+            regs=self.regs.copy(),
+            memory=self.memory.copy(),
+            bb_counts=dict(self.bb_counts),
+            last_app_bb=self.last_app_bb,
+            app_leaders=self.app_leaders,
+            lib_leaders=self.lib_leaders,
+            code_image=self.code_image,
+            routine_addrs=self.routine_addrs,
+            frames=list(self.frames),
+            clone_times=self.clone_times,  # shared on purpose
+            resource_origins=dict(self.resource_origins),
+            server_sockets=dict(self.server_sockets),
+        )
+        return dup
+
+    def reset_for_exec(self) -> None:
+        """execve wipes the address space: drop tags, counters, frames."""
+        self.regs.clear()
+        self.memory.clear()
+        self.bb_counts.clear()
+        self.last_app_bb = None
+        self.app_leaders = {}
+        self.lib_leaders = {}
+        self.code_image = {}
+        self.routine_addrs = {}
+        self.frames.clear()
+        self.resource_origins.clear()
+        self.server_sockets.clear()

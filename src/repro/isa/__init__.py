@@ -1,0 +1,81 @@
+"""Mini-ISA substrate: instruction set, assembler, images, CPU interpreter.
+
+This package replaces the paper's x86/PIN environment with a small register
+machine that preserves everything Harrier observes: per-instruction data
+movement, hardcoded ``.data`` constants, basic blocks, CPUID, and the
+``int 0x80`` syscall gate.
+"""
+
+from repro.isa.assembler import Assembler, AssemblyError, assemble
+from repro.isa.cpu import (
+    CPU,
+    CpuFault,
+    LOC_HARDWARE,
+    LOC_IMM,
+    LOC_ZERO,
+    StepKind,
+    StepResult,
+    TaintTransfer,
+    mem_loc,
+    reg_loc,
+)
+from repro.isa.image import DataRelocation, Image, TextRelocation
+from repro.isa.instructions import (
+    CONTROL_TRANSFER_OPCODES,
+    Imm,
+    Instruction,
+    Mem,
+    Opcode,
+    Reg,
+)
+from repro.isa.memory import (
+    APP_BASE,
+    FlatMemory,
+    HEAP_BASE,
+    LIBRARY_BASE,
+    LIBRARY_STRIDE,
+    MemoryFault,
+    STACK_TOP,
+)
+from repro.isa.registers import (
+    CPUID_REGISTERS,
+    GP_REGISTERS,
+    RegisterFile,
+    SYSCALL_ARG_REGISTERS,
+)
+
+__all__ = [
+    "assemble",
+    "Assembler",
+    "AssemblyError",
+    "Image",
+    "TextRelocation",
+    "DataRelocation",
+    "Instruction",
+    "Opcode",
+    "Reg",
+    "Imm",
+    "Mem",
+    "CONTROL_TRANSFER_OPCODES",
+    "CPU",
+    "CpuFault",
+    "StepKind",
+    "StepResult",
+    "TaintTransfer",
+    "reg_loc",
+    "mem_loc",
+    "LOC_IMM",
+    "LOC_HARDWARE",
+    "LOC_ZERO",
+    "FlatMemory",
+    "MemoryFault",
+    "STACK_TOP",
+    "HEAP_BASE",
+    "APP_BASE",
+    "LIBRARY_BASE",
+    "LIBRARY_STRIDE",
+    "GP_REGISTERS",
+    "CPUID_REGISTERS",
+    "SYSCALL_ARG_REGISTERS",
+    "RegisterFile",
+]

@@ -1,0 +1,84 @@
+"""Assembled binary images.
+
+An :class:`Image` is the output of the assembler: position-independent text
+and data plus a symbol table and relocation records.  The kernel's loader
+(paper section 7.3.2, "Data flow & Loader events") places images at a base
+address, applies relocations, and tags every loaded cell with the BINARY
+data source — that is how "hardcoded" values become detectable.
+
+Offsets use a single unified space: ``[0, text_size)`` addresses the
+instructions, ``[text_size, size)`` addresses the data cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TextRelocation:
+    """Patch operand ``slot`` ('a' or 'b') of instruction ``index`` so its
+    immediate value becomes the absolute address of ``symbol``."""
+
+    index: int
+    slot: str
+    symbol: str
+
+
+@dataclass(frozen=True)
+class DataRelocation:
+    """Patch the data cell at ``offset`` (unified-space offset) so it holds
+    the absolute address of ``symbol``."""
+
+    offset: int
+    symbol: str
+
+
+@dataclass(frozen=True)
+class Image:
+    """One assembled unit (an executable or a shared object)."""
+
+    #: Path-like identity, e.g. ``/bin/ls`` or ``libc.so``.  Warnings quote
+    #: this name ("originated from BINARY(...)"), so it should look like the
+    #: on-disk path of the binary.
+    name: str
+    text: Tuple["Instruction", ...]  # noqa: F821 - forward ref, see isa.instructions
+    #: Initialized data cells, keyed by unified-space offset.
+    data: Dict[int, int] = field(default_factory=dict)
+    #: Total data extent (includes .space gaps beyond the initialized cells).
+    data_size: int = 0
+    #: Symbol table: name -> unified-space offset.
+    symbols: Dict[str, int] = field(default_factory=dict)
+    text_relocations: Tuple[TextRelocation, ...] = ()
+    data_relocations: Tuple[DataRelocation, ...] = ()
+    #: Basic-block leader offsets within text.
+    bb_leaders: FrozenSet[int] = frozenset()
+    #: Symbols referenced but not defined here (satisfied by shared objects).
+    externs: FrozenSet[str] = frozenset()
+
+    @property
+    def text_size(self) -> int:
+        return len(self.text)
+
+    @property
+    def size(self) -> int:
+        return self.text_size + self.data_size
+
+    @property
+    def entry_offset(self) -> Optional[int]:
+        """Offset of ``main`` when defined (the conventional entry point)."""
+        return self.symbols.get("main")
+
+    def defines(self, symbol: str) -> bool:
+        return symbol in self.symbols
+
+    def exported_symbols(self) -> Dict[str, int]:
+        """All symbols are exported (the mini-ISA has no visibility rules)."""
+        return dict(self.symbols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Image({self.name!r}, text={self.text_size}, "
+            f"data={self.data_size}, symbols={len(self.symbols)})"
+        )

@@ -1,0 +1,75 @@
+"""Register file definition for the mini-ISA.
+
+The register names deliberately echo x86 (the paper's Harrier monitors IA-32
+through PIN) so that the policy discussion in the paper — "the data sources
+of %esp will be assigned to be those of %ebp as well" — maps one-to-one onto
+this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: General-purpose registers, in syscall-argument order: a syscall takes its
+#: number in ``eax`` and arguments in ``ebx, ecx, edx, esi, edi`` (the Linux
+#: i386 convention the paper's workloads use).
+GP_REGISTERS: Tuple[str, ...] = (
+    "eax",
+    "ebx",
+    "ecx",
+    "edx",
+    "esi",
+    "edi",
+    "ebp",
+    "esp",
+)
+
+#: Registers written by the CPUID instruction (paper section 7.3.1).
+CPUID_REGISTERS: Tuple[str, ...] = ("eax", "ebx", "ecx", "edx")
+
+#: Registers carrying syscall arguments, in order.
+SYSCALL_ARG_REGISTERS: Tuple[str, ...] = ("ebx", "ecx", "edx", "esi", "edi")
+
+_REGISTER_SET = frozenset(GP_REGISTERS)
+
+
+def is_register(name: str) -> bool:
+    return name in _REGISTER_SET
+
+
+def check_register(name: str) -> str:
+    if name not in _REGISTER_SET:
+        raise ValueError(f"unknown register {name!r}")
+    return name
+
+
+class RegisterFile:
+    """Mutable register state for one CPU context."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {reg: 0 for reg in GP_REGISTERS}
+
+    def get(self, reg: str) -> int:
+        try:
+            return self._values[reg]
+        except KeyError:
+            raise ValueError(f"unknown register {reg!r}") from None
+
+    def set(self, reg: str, value: int) -> None:
+        if reg not in self._values:
+            raise ValueError(f"unknown register {reg!r}")
+        self._values[reg] = int(value)
+
+    def copy(self) -> "RegisterFile":
+        dup = RegisterFile()
+        dup._values = dict(self._values)
+        return dup
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{r}={v:#x}" for r, v in self._values.items())
+        return f"RegisterFile({inner})"

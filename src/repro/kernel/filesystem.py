@@ -1,0 +1,164 @@
+"""In-memory filesystem.
+
+A flat namespace of path -> node.  Three node kinds cover the paper's
+workloads:
+
+* regular files (byte content),
+* directories (``ls``-style listing is synthesized from the namespace),
+* FIFOs (named pipes, created by ``mknod`` — the pma daemon relays shell
+  I/O through two of these).
+
+``/proc/<pid>/environ`` is synthesized on open (the procex exploit reads
+it), and ``/etc/hosts`` is a regular file seeded by the network setup.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.errors import EEXIST, EISDIR, ENOENT
+
+# open(2) flag bits (Linux values).
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+_ACCESS_MASK = 0x3
+
+
+class NodeKind(enum.Enum):
+    FILE = "file"
+    DIRECTORY = "directory"
+    FIFO = "fifo"
+
+
+class Node:
+    """One filesystem object."""
+
+    __slots__ = ("kind", "data", "mode", "fifo_buffer", "fifo_writers",
+                 "fifo_readers")
+
+    def __init__(self, kind: NodeKind, data: bytes = b"", mode: int = 0o644):
+        self.kind = kind
+        self.data = bytearray(data)
+        self.mode = mode
+        # FIFO state: a byte queue plus open-end reference counts.
+        self.fifo_buffer = bytearray()
+        self.fifo_writers = 0
+        self.fifo_readers = 0
+
+    def is_executable(self) -> bool:
+        return bool(self.mode & 0o111)
+
+
+class FileSystem:
+    """Flat path -> node namespace."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self.mkdir(".")
+        self.mkdir("/")
+        self.mkdir("/tmp")
+
+    # -- namespace ---------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._nodes
+
+    def lookup(self, path: str) -> Optional[Node]:
+        return self._nodes.get(path)
+
+    def mkdir(self, path: str) -> Node:
+        node = Node(NodeKind.DIRECTORY, mode=0o755)
+        self._nodes[path] = node
+        return node
+
+    def mkfifo(self, path: str, mode: int = 0o644) -> int:
+        """Create a named pipe; returns 0 or -EEXIST."""
+        if path in self._nodes:
+            return -EEXIST
+        self._nodes[path] = Node(NodeKind.FIFO, mode=mode)
+        return 0
+
+    def create_file(
+        self, path: str, data: bytes = b"", mode: int = 0o644
+    ) -> Node:
+        node = Node(NodeKind.FILE, data=data, mode=mode)
+        self._nodes[path] = node
+        return node
+
+    def write_text(self, path: str, text: str, mode: int = 0o644) -> Node:
+        return self.create_file(path, text.encode(), mode)
+
+    def read_text(self, path: str) -> str:
+        node = self._nodes.get(path)
+        if node is None:
+            raise FileNotFoundError(path)
+        return bytes(node.data).decode(errors="replace")
+
+    def unlink(self, path: str) -> int:
+        if path not in self._nodes:
+            return -ENOENT
+        del self._nodes[path]
+        return 0
+
+    def chmod(self, path: str, mode: int) -> int:
+        node = self._nodes.get(path)
+        if node is None:
+            return -ENOENT
+        node.mode = mode
+        return 0
+
+    def paths(self) -> List[str]:
+        return sorted(self._nodes)
+
+    # -- directory listings --------------------------------------------------
+    def listing(self, path: str) -> str:
+        """Newline-separated names "inside" a directory.
+
+        The namespace is flat, so a directory's contents are the paths that
+        start with ``path`` (or, for ``.``, every relative path).
+        """
+        names: List[str] = []
+        if path in (".", "./"):
+            prefix = ""
+        else:
+            prefix = path.rstrip("/") + "/"
+        for candidate in sorted(self._nodes):
+            if candidate in (".", "/", path):
+                continue
+            if prefix == "":
+                if not candidate.startswith("/"):
+                    names.append(candidate)
+            elif candidate.startswith(prefix):
+                names.append(candidate[len(prefix):])
+        return "".join(name + "\n" for name in names)
+
+    # -- open-time resolution -----------------------------------------------
+    def resolve_open(
+        self, path: str, flags: int, procs_environ: Optional[str] = None
+    ) -> Tuple[Optional[Node], int]:
+        """Find (or create) the node an ``open`` call addresses.
+
+        Returns ``(node, 0)`` on success or ``(None, -errno)``.
+        ``procs_environ`` supplies synthesized content for
+        ``/proc/<pid>/environ`` opens.
+        """
+        if procs_environ is not None:
+            return Node(NodeKind.FILE, data=procs_environ.encode()), 0
+
+        node = self._nodes.get(path)
+        accmode = flags & _ACCESS_MASK
+        if node is None:
+            if flags & O_CREAT:
+                node = self.create_file(path)
+                return node, 0
+            return None, -ENOENT
+        if node.kind is NodeKind.DIRECTORY and accmode != O_RDONLY:
+            return None, -EISDIR
+        if node.kind is NodeKind.FILE and flags & O_TRUNC and accmode:
+            node.data = bytearray()
+        return node, 0

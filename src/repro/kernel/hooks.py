@@ -1,0 +1,119 @@
+"""Monitor hook interface.
+
+The kernel and CPU expose their observable events through this interface;
+Harrier subclasses it.  The default implementation is a no-op, so running
+without a monitor costs only the virtual calls (this is the "native" leg of
+the performance evaluation, paper section 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.isa.cpu import StepResult
+    from repro.kernel.loader import LoadedImage
+    from repro.kernel.process import Process
+
+
+class KernelHooks:
+    """Observation points in execution order."""
+
+    def on_process_start(self, proc: "Process") -> None:
+        """A process began executing (after load or fork)."""
+
+    def on_image_load(self, proc: "Process", loaded: "LoadedImage") -> None:
+        """An image (executable or shared object) was mapped."""
+
+    def on_initial_stack(
+        self, proc: "Process", start: int, end: int
+    ) -> None:
+        """The loader wrote argc/argv/envp into [start, end)."""
+
+    def on_instruction(self, proc: "Process", step: "StepResult") -> None:
+        """One instruction finished executing."""
+
+    def on_syscall_pre(
+        self,
+        proc: "Process",
+        sysno: int,
+        args: Tuple[int, int, int, int, int],
+        info: Dict[str, object],
+    ) -> bool:
+        """About to execute a syscall.  ``info`` carries kernel-decoded
+        facts about the call (path strings, fd resources, buffer layout)
+        computed without side effects.  Return False to kill the process
+        (the user chose not to let the suspicious call proceed)."""
+        return True
+
+    def on_syscall_post(
+        self,
+        proc: "Process",
+        sysno: int,
+        args: Tuple[int, int, int, int, int],
+        result: int,
+        info: Dict[str, object],
+    ) -> None:
+        """A syscall completed.  ``info`` carries kernel-computed facts
+        (resource references, buffer addresses, byte counts, ...)."""
+
+    def on_fork(self, parent: "Process", child: "Process") -> None:
+        """fork/clone created ``child`` from ``parent``."""
+
+    def on_exec(self, proc: "Process", path: str) -> None:
+        """The process replaced its image via execve (about to reload)."""
+
+    def on_process_exit(self, proc: "Process", code: int) -> None:
+        """The process terminated."""
+
+
+class NullHooks(KernelHooks):
+    """Explicit no-op monitor (native execution)."""
+
+
+class CompositeHooks(KernelHooks):
+    """Fan one hook stream out to several monitors (e.g. Harrier plus a
+    baseline trace recorder).  A syscall proceeds only if every child
+    allows it."""
+
+    def __init__(self, children) -> None:
+        self.children = list(children)
+
+    def on_process_start(self, proc):
+        for child in self.children:
+            child.on_process_start(proc)
+
+    def on_image_load(self, proc, loaded):
+        for child in self.children:
+            child.on_image_load(proc, loaded)
+
+    def on_initial_stack(self, proc, start, end):
+        for child in self.children:
+            child.on_initial_stack(proc, start, end)
+
+    def on_instruction(self, proc, step):
+        for child in self.children:
+            child.on_instruction(proc, step)
+
+    def on_syscall_pre(self, proc, sysno, args, info):
+        allowed = True
+        for child in self.children:
+            if not child.on_syscall_pre(proc, sysno, args, info):
+                allowed = False
+        return allowed
+
+    def on_syscall_post(self, proc, sysno, args, result, info):
+        for child in self.children:
+            child.on_syscall_post(proc, sysno, args, result, info)
+
+    def on_fork(self, parent, child_proc):
+        for child in self.children:
+            child.on_fork(parent, child_proc)
+
+    def on_exec(self, proc, path):
+        for child in self.children:
+            child.on_exec(proc, path)
+
+    def on_process_exit(self, proc, code):
+        for child in self.children:
+            child.on_process_exit(proc, code)

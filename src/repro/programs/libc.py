@@ -1,0 +1,597 @@
+"""Guest C library, assembled as the shared object ``/lib/libc.so``.
+
+Being a *separate image* matters for fidelity, not just convenience:
+
+* the policy trusts libc, so strings hardcoded *in libc* (``/bin/sh``
+  inside ``system``) are filtered — exactly why the paper's HTH missed the
+  ElmExploit's ``system("/bin/cat ./tmpmail | ...")`` (section 8.3.1);
+* basic blocks executed inside libc are not application blocks, so event
+  frequency is attributed to the "last app BB" (section 7.4);
+* ``gethostbyname`` lives here, giving the routine-level short circuit a
+  real call boundary to interpose on (section 7.2).
+
+Calling convention: arguments in ``ebx, ecx, edx, esi``; result in
+``eax``.  Every routine is **callee-saved** for all registers except
+``eax`` — guest programs can keep live values in registers across calls.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.isa.assembler import assemble
+from repro.isa.image import Image
+
+LIBC_PATH = "/lib/libc.so"
+
+LIBC_SOURCE = r"""
+; ===================== syscall wrappers =====================
+; (the kernel only writes eax; wrappers that stage arguments save and
+;  restore what they touch)
+.text
+
+exit:                       ; exit(ebx=status) - does not return
+    mov eax, 1
+    int 0x80
+    hlt
+
+fork:                       ; fork() -> eax = child pid | 0
+    mov eax, 2
+    int 0x80
+    ret
+
+read:                       ; read(ebx=fd, ecx=buf, edx=count) -> eax
+    mov eax, 3
+    int 0x80
+    ret
+
+write:                      ; write(ebx=fd, ecx=buf, edx=count) -> eax
+    mov eax, 4
+    int 0x80
+    ret
+
+open:                       ; open(ebx=path, ecx=flags) -> eax = fd
+    mov eax, 5
+    int 0x80
+    ret
+
+close:                      ; close(ebx=fd)
+    mov eax, 6
+    int 0x80
+    ret
+
+creat:                      ; creat(ebx=path) -> eax = fd
+    mov eax, 8
+    int 0x80
+    ret
+
+unlink:                     ; unlink(ebx=path)
+    mov eax, 10
+    int 0x80
+    ret
+
+lseek:                      ; lseek(ebx=fd, ecx=offset, edx=whence)
+    mov eax, 19             ; whence: 0=SET 1=CUR 2=END
+    int 0x80
+    ret
+
+execve:                     ; execve(ebx=path, ecx=argv, edx=envp)
+    mov eax, 11
+    int 0x80
+    ret
+
+time:                       ; time() -> eax = virtual clock
+    mov eax, 13
+    int 0x80
+    ret
+
+chmod:                      ; chmod(ebx=path, ecx=mode)
+    mov eax, 15
+    int 0x80
+    ret
+
+getpid:                     ; getpid() -> eax
+    mov eax, 20
+    int 0x80
+    ret
+
+dup:                        ; dup(ebx=fd) -> eax = new fd
+    mov eax, 41
+    int 0x80
+    ret
+
+sleep:                      ; sleep(ebx=ticks)
+    mov eax, 162
+    int 0x80
+    ret
+
+mkfifo:                     ; mkfifo(ebx=path)
+    push ecx
+    mov ecx, 0x11a4         ; S_IFIFO | 0644
+    mov eax, 14
+    int 0x80
+    pop ecx
+    ret
+
+gethostbyname:              ; gethostbyname(ebx=name) -> eax = address
+    mov eax, 400            ; SYS_resolve - consults the hosts database,
+    int 0x80                ; so the result's taint is the database's,
+    ret                     ; not the name's (Harrier short-circuits this)
+
+; ===================== string routines =====================
+
+strlen:                     ; strlen(ebx=s) -> eax
+    push ecx
+    push edi
+    mov eax, 0
+strlen_loop:
+    mov edi, ebx
+    add edi, eax
+    load ecx, [edi]
+    cmp ecx, 0
+    jz strlen_done
+    add eax, 1
+    jmp strlen_loop
+strlen_done:
+    pop edi
+    pop ecx
+    ret
+
+strcpy:                     ; strcpy(ebx=dst, ecx=src) -> eax = dst
+    push ebx
+    push ecx
+    push edx
+    mov eax, ebx
+strcpy_loop:
+    load edx, [ecx]
+    store [ebx], edx
+    cmp edx, 0
+    jz strcpy_done
+    add ebx, 1
+    add ecx, 1
+    jmp strcpy_loop
+strcpy_done:
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+strcat:                     ; strcat(ebx=dst, ecx=src) -> eax = dst
+    push ebx
+    push ecx
+    push edx
+    mov eax, ebx
+strcat_seek:
+    load edx, [ebx]
+    cmp edx, 0
+    jz strcat_copy
+    add ebx, 1
+    jmp strcat_seek
+strcat_copy:
+    load edx, [ecx]
+    store [ebx], edx
+    cmp edx, 0
+    jz strcat_done
+    add ebx, 1
+    add ecx, 1
+    jmp strcat_copy
+strcat_done:
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+strcmp:                     ; strcmp(ebx=a, ecx=b) -> eax (0 when equal)
+    push ebx
+    push ecx
+    push edx
+    push esi
+strcmp_loop:
+    load edx, [ebx]
+    load esi, [ecx]
+    cmp edx, esi
+    jnz strcmp_diff
+    cmp edx, 0
+    jz strcmp_equal
+    add ebx, 1
+    add ecx, 1
+    jmp strcmp_loop
+strcmp_diff:
+    mov eax, edx
+    sub eax, esi
+    jmp strcmp_done
+strcmp_equal:
+    mov eax, 0
+strcmp_done:
+    pop esi
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+memcpy:                     ; memcpy(ebx=dst, ecx=src, edx=n) -> eax = dst
+    push ebx
+    push ecx
+    push edx
+    push esi
+    mov eax, ebx
+memcpy_loop:
+    cmp edx, 0
+    jle memcpy_done
+    load esi, [ecx]
+    store [ebx], esi
+    add ebx, 1
+    add ecx, 1
+    sub edx, 1
+    jmp memcpy_loop
+memcpy_done:
+    pop esi
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+atoi:                       ; atoi(ebx=s) -> eax
+    push ebx
+    push ecx
+    mov eax, 0
+atoi_loop:
+    load ecx, [ebx]
+    cmp ecx, 48             ; '0'
+    jl atoi_done
+    cmp ecx, 57             ; '9'
+    jg atoi_done
+    mul eax, 10
+    sub ecx, 48
+    add eax, ecx
+    add ebx, 1
+    jmp atoi_loop
+atoi_done:
+    pop ecx
+    pop ebx
+    ret
+
+itoa:                       ; itoa(ebx=value, ecx=buf) -> eax = buf
+    push ebx
+    push ecx
+    push edx
+    push edi
+    push ecx                ; original buffer (returned)
+    cmp ebx, 0
+    jge itoa_setup
+    store [ecx], 45         ; '-' prefix, then format the magnitude
+    add ecx, 1
+    mov eax, 0
+    sub eax, ebx
+    mov ebx, eax
+itoa_setup:
+    push ecx                ; digit-write cursor
+    mov edi, itoa_tmp
+    cmp ebx, 0
+    jnz itoa_loop
+    store [edi], 48         ; '0'
+    add edi, 1
+    jmp itoa_rev
+itoa_loop:
+    cmp ebx, 0
+    jz itoa_rev
+    mov edx, ebx
+    mod edx, 10
+    add edx, 48
+    store [edi], edx
+    add edi, 1
+    div ebx, 10
+    jmp itoa_loop
+itoa_rev:
+    pop ecx
+itoa_rev_loop:
+    cmp edi, itoa_tmp
+    jle itoa_done
+    sub edi, 1
+    load edx, [edi]
+    store [ecx], edx
+    add ecx, 1
+    jmp itoa_rev_loop
+itoa_done:
+    store [ecx], 0
+    pop eax                 ; original buffer
+    pop edi
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+; ===================== I/O helpers =====================
+
+print:                      ; print(ebx=str) to stdout
+    push ebx
+    push ecx
+    push edx
+    call strlen
+    mov ecx, ebx
+    mov edx, eax
+    mov ebx, 1
+    call write
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+fputs:                      ; fputs(ebx=fd, ecx=str) -> eax = n
+    push ebx
+    push ecx
+    push edx
+    push ebx
+    mov ebx, ecx
+    call strlen
+    mov edx, eax
+    mov ecx, ebx
+    pop ebx
+    call write
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+print_num:                  ; print_num(ebx=value)
+    push ebx
+    push ecx
+    mov ecx, num_buf
+    call itoa
+    mov ebx, eax
+    call print
+    pop ecx
+    pop ebx
+    ret
+
+read_line:                  ; read_line(ebx=fd, ecx=buf, edx=max) -> eax = n
+    push edx                ; reads one chunk, strips trailing newline,
+    push edi                ; NUL-terminates
+    call read
+    cmp eax, 0
+    jle read_line_empty
+    mov edi, ecx
+    add edi, eax
+    store [edi], 0
+    sub edi, 1
+    load edx, [edi]
+    cmp edx, 10             ; '\n'
+    jnz read_line_done
+    store [edi], 0
+    sub eax, 1
+    jmp read_line_done
+read_line_empty:
+    store [ecx], 0
+    mov eax, 0
+read_line_done:
+    pop edi
+    pop edx
+    ret
+
+; ===================== memory / misc =====================
+
+malloc:                     ; malloc(ebx=size) -> eax (bump allocator)
+    push ebx                ; grows the program break via brk(2), so the
+    push ecx                ; kernel - and the monitor - observe memory
+    push edi                ; consumption (resource-abuse tracking)
+    mov edi, heap_ptr
+    load eax, [edi]
+    mov ecx, eax
+    add ecx, ebx
+    store [edi], ecx
+    push eax
+    mov ebx, ecx
+    mov eax, 45             ; SYS_brk
+    int 0x80
+    pop eax
+    pop edi
+    pop ecx
+    pop ebx
+    ret
+
+rand:                       ; rand() -> eax in [0, 2^31)
+    push edi
+    mov edi, rand_seed
+    load eax, [edi]
+    mul eax, 1103515245
+    add eax, 12345
+    mod eax, 0x7fffffff
+    store [edi], eax
+    pop edi
+    ret
+
+env_lookup:                 ; env_lookup(ebx=envp, ecx=name) -> eax = value | 0
+    push ebx
+    push ecx
+    push edx
+    push esi
+    push edi
+env_lookup_loop:
+    load edx, [ebx]
+    cmp edx, 0
+    jz env_lookup_fail
+    push ebx
+    push ecx
+    mov esi, edx            ; entry cursor
+env_cmp_loop:
+    load edi, [ecx]
+    cmp edi, 0
+    jz env_cmp_name_end
+    load eax, [esi]
+    cmp eax, edi
+    jnz env_cmp_fail
+    add esi, 1
+    add ecx, 1
+    jmp env_cmp_loop
+env_cmp_name_end:
+    load eax, [esi]
+    cmp eax, 61             ; '='
+    jnz env_cmp_fail
+    pop ecx
+    pop ebx
+    mov eax, esi
+    add eax, 1
+    jmp env_lookup_done
+env_cmp_fail:
+    pop ecx
+    pop ebx
+    add ebx, 1
+    jmp env_lookup_loop
+env_lookup_fail:
+    mov eax, 0
+env_lookup_done:
+    pop edi
+    pop esi
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+; ===================== process helpers =====================
+
+system:                     ; system(ebx=cmd) -> eax = child pid
+    push ebx                ; runs "/bin/sh -c cmd" in a forked child -
+    push ecx                ; the /bin/sh string is hardcoded *here*, in
+    push edx                ; libc, which is why a trusting policy filters
+    push edi                ; the resulting execve (paper section 8.3.1)
+    mov edi, ebx
+    call fork
+    cmp eax, 0
+    jnz system_parent
+    mov ecx, edi            ; child: build ["/bin/sh", "-c", cmd] argv
+    mov edi, sys_argv
+    mov edx, sh_path
+    store [edi], edx
+    mov edx, sh_flag
+    store [edi+1], edx
+    store [edi+2], ecx
+    store [edi+3], 0
+    mov ebx, sh_path
+    mov ecx, edi
+    mov edx, 0
+    call execve
+    mov ebx, 127            ; exec failed
+    call exit
+system_parent:
+    pop edi
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+; ===================== socket helpers =====================
+
+socket:                     ; socket() -> eax = fd (AF_INET stream)
+    push ebx
+    push ecx
+    push edi
+    mov edi, sc_args
+    store [edi], 2          ; AF_INET
+    store [edi+1], 1        ; SOCK_STREAM
+    store [edi+2], 0
+    mov ebx, 1              ; SYS_SOCKET
+    mov ecx, edi
+    mov eax, 102
+    int 0x80
+    pop edi
+    pop ecx
+    pop ebx
+    ret
+
+connect_addr:               ; connect_addr(ebx=fd, ecx=ip, edx=port) -> eax
+    push ebx
+    push ecx
+    push esi
+    push edi
+    mov edi, sc_sockaddr
+    store [edi], 2          ; AF_INET
+    store [edi+1], edx      ; port
+    store [edi+2], ecx      ; address
+    mov esi, sc_args
+    store [esi], ebx
+    store [esi+1], edi
+    store [esi+2], 3
+    mov ebx, 3              ; SYS_CONNECT
+    mov ecx, esi
+    mov eax, 102
+    int 0x80
+    pop edi
+    pop esi
+    pop ecx
+    pop ebx
+    ret
+
+bind_addr:                  ; bind_addr(ebx=fd, ecx=ip, edx=port) -> eax
+    push ebx
+    push ecx
+    push esi
+    push edi
+    mov edi, sc_sockaddr
+    store [edi], 2
+    store [edi+1], edx
+    store [edi+2], ecx
+    mov esi, sc_args
+    store [esi], ebx
+    store [esi+1], edi
+    store [esi+2], 3
+    mov ebx, 2              ; SYS_BIND
+    mov ecx, esi
+    mov eax, 102
+    int 0x80
+    pop edi
+    pop esi
+    pop ecx
+    pop ebx
+    ret
+
+listen:                     ; listen(ebx=fd) -> eax
+    push ebx
+    push ecx
+    push esi
+    mov esi, sc_args
+    store [esi], ebx
+    store [esi+1], 8
+    mov ebx, 4              ; SYS_LISTEN
+    mov ecx, esi
+    mov eax, 102
+    int 0x80
+    pop esi
+    pop ecx
+    pop ebx
+    ret
+
+accept:                     ; accept(ebx=fd) -> eax = connected fd
+    push ebx
+    push ecx
+    push esi
+    mov esi, sc_args
+    store [esi], ebx
+    store [esi+1], 0
+    store [esi+2], 0
+    mov ebx, 5              ; SYS_ACCEPT
+    mov ecx, esi
+    mov eax, 102
+    int 0x80
+    pop esi
+    pop ecx
+    pop ebx
+    ret
+
+; ===================== data =====================
+.data
+sh_path:     .asciz "/bin/sh"
+sh_flag:     .asciz "-c"
+sys_argv:    .space 4
+sc_args:     .space 4
+sc_sockaddr: .space 3
+itoa_tmp:    .space 16
+num_buf:     .space 16
+heap_ptr:    .word 0x400000
+rand_seed:   .word 20060126
+"""
+
+
+@lru_cache(maxsize=1)
+def libc_image() -> Image:
+    """The assembled libc shared object (cached; images are immutable)."""
+    return assemble(LIBC_PATH, LIBC_SOURCE)

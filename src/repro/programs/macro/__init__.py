@@ -1,0 +1,13 @@
+"""Macro benchmarks (paper section 8.4)."""
+
+from repro.programs.macro.mw_script import mw_workloads
+from repro.programs.macro.pwsafe import pwsafe_workloads
+from repro.programs.macro.registry import macro_workloads
+from repro.programs.macro.tictactoe import tictactoe_workloads
+
+__all__ = [
+    "macro_workloads",
+    "pwsafe_workloads",
+    "mw_workloads",
+    "tictactoe_workloads",
+]

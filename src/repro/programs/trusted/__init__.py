@@ -1,0 +1,13 @@
+"""Trusted-program analogues (paper Table 7)."""
+
+from repro.programs.trusted.buildtools import buildtools_workloads
+from repro.programs.trusted.coreutils import coreutils_workloads
+from repro.programs.trusted.registry import table7_workloads
+from repro.programs.trusted.x11 import x11_workloads
+
+__all__ = [
+    "table7_workloads",
+    "coreutils_workloads",
+    "buildtools_workloads",
+    "x11_workloads",
+]

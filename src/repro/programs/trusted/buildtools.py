@@ -1,0 +1,167 @@
+"""Build-tool analogues: make and g++ (paper sections 8.2.3 / 8.2.4).
+
+These are the paper's acknowledged *acceptable false positives*: make
+executes compilers found via the PATH environment variable (USER INPUT)
+joined with hardcoded names, and g++ executes its hardcoded helper
+binaries (cc1plus, collect2) — each drawing a Low warning from the
+execution-flow rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from typing import List
+
+from repro.core.hth import stub_binary
+from repro.core.report import Verdict
+from repro.programs.base import Workload
+
+MAKE_SOURCE = r"""
+; make: read the makefile (its *name* is hardcoded in make itself), then
+; search PATH for g++ and execute it in a child process
+main:
+    mov ebp, esp
+    mov ebx, mf
+    mov ecx, 0
+    call open
+    cmp eax, 0
+    jl find_gxx
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 96
+    call read
+    mov ebx, esi
+    call close
+find_gxx:
+    load ebx, [ebp+3]       ; envp
+    mov ecx, path_name
+    call env_lookup
+    cmp eax, 0
+    jz done
+    ; cmd = $PATH-dir + "/g++"  (PATH value is USER INPUT; the suffix is
+    ; hardcoded in make - the mixed origin the paper reports)
+    mov ebx, cmd
+    mov ecx, eax
+    call strcpy
+    mov ebx, cmd
+    mov ecx, gxx_suffix
+    call strcat
+    call fork
+    cmp eax, 0
+    jnz done
+    mov ebx, cmd
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov ebx, 1
+    call exit
+done:
+    mov eax, 0
+    ret
+.data
+mf:         .asciz "makefile"
+path_name:  .asciz "PATH"
+gxx_suffix: .asciz "/g++"
+cmd:        .space 80
+buf:        .space 96
+"""
+
+GXX_SOURCE = r"""
+; g++ test.cpp: read the user's source file, run the hardcoded helper
+; executables cc1plus and collect2, write the (hardcoded-named) a.out
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 96
+    call read
+    mov edi, eax            ; source length
+    mov ebx, esi
+    call close
+    ; stage 1: cc1plus
+    call fork
+    cmp eax, 0
+    jnz after_cc1
+    mov ebx, cc1
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov ebx, 1
+    call exit
+after_cc1:
+    ; stage 2: collect2
+    call fork
+    cmp eax, 0
+    jnz after_col
+    mov ebx, col
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov ebx, 1
+    call exit
+after_col:
+    ; emit a.out from the compiled source
+    mov ebx, aout
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, edi
+    call write
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+cc1:  .asciz "/usr/libexec/cc1plus"
+col:  .asciz "/usr/libexec/collect2"
+aout: .asciz "a.out"
+buf:  .space 96
+"""
+
+
+def _make_setup(hth: HTH) -> None:
+    hth.fs.write_text("makefile", "all:\n\tg++ test.cpp DataFlow.C\n")
+    hth.register_binary(stub_binary("/usr/bin/g++"))
+
+
+def _gxx_setup(hth: HTH) -> None:
+    hth.fs.write_text("test.cpp", "int main() { return 0; }\n")
+    hth.register_binary(stub_binary("/usr/libexec/cc1plus"))
+    hth.register_binary(stub_binary("/usr/libexec/collect2"))
+
+
+def buildtools_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="make",
+            program_path="/usr/bin/make",
+            source=MAKE_SOURCE,
+            description="make finding g++ through PATH (acceptable Low FP)",
+            setup=_make_setup,
+            env={"PATH": "/usr/bin"},
+            expected_verdict=Verdict.LOW,
+            expected_rules=("check_execve",),
+        ),
+        Workload(
+            name="g++",
+            program_path="/usr/bin/g++",
+            source=GXX_SOURCE,
+            description="g++ running cc1plus/collect2 (acceptable Low FP)",
+            setup=_gxx_setup,
+            argv=["/usr/bin/g++", "test.cpp"],
+            expected_verdict=Verdict.LOW,
+            expected_rules=("check_execve",),
+        ),
+    ]

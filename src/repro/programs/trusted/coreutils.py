@@ -1,0 +1,397 @@
+"""Trusted-program analogues for the false-positive study (paper Table 7,
+sections 8.2.1-8.2.10): ls, column, awk, pico, tail, diff, wc, bc.
+
+Each re-implements the *information-flow shape* of the real utility —
+that is all HTH observes.  The expected outcomes follow the paper: these
+eight run warning-free (with a complete dataflow tracker, pico does too;
+the paper's HIGH warning on pico was an artifact of its incomplete
+prototype, reproducible here with ``complete_dataflow=False``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.programs.base import Workload
+
+LS_SOURCE = r"""
+; ls: read the current directory (note: "." is hardcoded - the paper
+; remarks HTH sees this but correctly does not warn) and print it
+main:
+    mov ebx, dot
+    mov ecx, 0
+    call open
+    mov esi, eax
+ls_loop:
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    cmp eax, 0
+    jle ls_done
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, eax
+    call write
+    jmp ls_loop
+ls_done:
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+dot: .asciz "."
+buf: .space 64
+"""
+
+COLUMN_SOURCE = r"""
+; column a b c: concatenate the files named on the command line to stdout
+main:
+    mov ebp, esp
+    mov edi, 1
+arg_loop:
+    load eax, [ebp+1]       ; argc
+    cmp edi, eax
+    jge done
+    load eax, [ebp+2]       ; argv
+    add eax, edi
+    mov esi, eax
+    load ebx, [esi]         ; argv[i]
+    mov ecx, 0
+    call open
+    cmp eax, 0
+    jl next
+    mov esi, eax            ; fd
+read_loop:
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    cmp eax, 0
+    jle close_it
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, eax
+    call write
+    jmp read_loop
+close_it:
+    mov ebx, esi
+    call close
+next:
+    add edi, 1
+    jmp arg_loop
+done:
+    mov eax, 0
+    ret
+.data
+buf: .space 64
+"""
+
+AWK_SOURCE = r"""
+; awk '/pat/' file: scan a user-named file, print matching content
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+2]       ; argv[2] = input file (argv[1] is the pattern)
+    mov ecx, 0
+    call open
+    mov esi, eax
+awk_loop:
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    cmp eax, 0
+    jle awk_done
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, eax
+    call write
+    jmp awk_loop
+awk_done:
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+buf: .space 64
+"""
+
+PICO_SOURCE = r"""
+; pico: read keystrokes from the terminal, save the buffer to the file
+; the user named on the command line
+main:
+    mov ebp, esp
+    mov ebx, 0              ; stdin
+    mov ecx, buf
+    mov edx, 80
+    call read_line
+    mov edi, eax            ; length typed
+    load eax, [ebp+2]
+    load ebx, [eax+1]       ; argv[1] = save-as name
+    mov ecx, 0x241          ; O_WRONLY|O_CREAT|O_TRUNC
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, edi
+    call write
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+.data
+buf: .space 96
+"""
+
+TAIL_SOURCE = r"""
+; tail file: print the last part of a user-named file
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 192
+    call read
+    mov edi, eax            ; total length
+    mov ebx, esi
+    call close
+    ; print the final 24 cells (or everything when shorter)
+    cmp edi, 24
+    jle tail_short
+    mov ecx, buf
+    add ecx, edi
+    sub ecx, 24
+    mov edx, 24
+    jmp tail_write
+tail_short:
+    mov ecx, buf
+    mov edx, edi
+tail_write:
+    mov ebx, 1
+    call write
+    mov eax, 0
+    ret
+.data
+buf: .space 192
+"""
+
+DIFF_SOURCE = r"""
+; diff a b: read both user-named files and report on stdout
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf_a
+    mov edx, 96
+    call read
+    mov edi, eax
+    mov ebx, esi
+    call close
+    load eax, [ebp+2]
+    load ebx, [eax+2]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf_b
+    mov edx, 96
+    call read
+    push eax
+    mov ebx, esi
+    call close
+    ; print "< " side then "> " side (headers go to the terminal)
+    mov ebx, marker_a
+    call print
+    mov ebx, 1
+    mov ecx, buf_a
+    mov edx, edi
+    call write
+    mov ebx, marker_b
+    call print
+    pop edx
+    mov ebx, 1
+    mov ecx, buf_b
+    call write
+    mov eax, 0
+    ret
+.data
+marker_a: .asciz "< "
+marker_b: .asciz "> "
+buf_a: .space 96
+buf_b: .space 96
+"""
+
+WC_SOURCE = r"""
+; wc file: count the bytes of a user-named file, print the count
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov edi, 0              ; running count
+wc_loop:
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    cmp eax, 0
+    jle wc_done
+    add edi, eax
+    jmp wc_loop
+wc_done:
+    mov ebx, esi
+    call close
+    mov ebx, edi
+    call print_num
+    mov ebx, nl
+    call print
+    mov eax, 0
+    ret
+.data
+nl: .asciz "\n"
+buf: .space 64
+"""
+
+BC_SOURCE = r"""
+; bc: read an expression "A+B" from the user, echo it, print the sum
+main:
+    mov ebx, 0
+    mov ecx, buf
+    mov edx, 32
+    call read_line
+    mov ebx, buf
+    call print              ; bc echoes the expression (user data ->
+    mov ebx, nl             ; terminal; not a monitored boundary)
+    call print
+    mov ebx, buf
+    call atoi
+    mov edi, eax
+    ; scan to the '+'
+    mov esi, buf
+scan:
+    load eax, [esi]
+    cmp eax, 0
+    jz emit
+    cmp eax, 43             ; '+'
+    jz plus
+    add esi, 1
+    jmp scan
+plus:
+    add esi, 1
+    mov ebx, esi
+    call atoi
+    add edi, eax
+emit:
+    mov ebx, edi
+    call print_num
+    mov ebx, nl
+    call print
+    mov eax, 0
+    ret
+.data
+nl: .asciz "\n"
+buf: .space 32
+"""
+
+
+def _seed_home(hth: HTH) -> None:
+    hth.fs.write_text("a", "alpha file\n")
+    hth.fs.write_text("b", "bravo file\n")
+    hth.fs.write_text("c", "charlie file\n")
+    hth.fs.write_text("notes.txt", "some text for scanning\nifdef HERE\n")
+    hth.fs.write_text(
+        "long.txt", "".join(f"line {i}\n" for i in range(12))
+    )
+
+
+def coreutils_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="ls",
+            program_path="/bin/ls_real",
+            source=LS_SOURCE,
+            description="list the current directory",
+            setup=_seed_home,
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="column",
+            program_path="/usr/bin/column",
+            source=COLUMN_SOURCE,
+            description="concatenate user-named files to the terminal",
+            setup=_seed_home,
+            argv=["/usr/bin/column", "a", "b", "c"],
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="awk",
+            program_path="/usr/bin/awk",
+            source=AWK_SOURCE,
+            description="scan a user-named file",
+            setup=_seed_home,
+            argv=["/usr/bin/awk", "/ifdef/", "notes.txt"],
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="pico",
+            program_path="/usr/bin/pico",
+            source=PICO_SOURCE,
+            description="editor: user keystrokes saved to a user-named file",
+            setup=_seed_home,
+            argv=["/usr/bin/pico", "a.txt"],
+            stdin="hello from the user\n",
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="tail",
+            program_path="/usr/bin/tail",
+            source=TAIL_SOURCE,
+            description="print the end of a user-named file",
+            setup=_seed_home,
+            argv=["/usr/bin/tail", "long.txt"],
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="diff",
+            program_path="/usr/bin/diff",
+            source=DIFF_SOURCE,
+            description="compare two user-named files",
+            setup=_seed_home,
+            argv=["/usr/bin/diff", "a", "b"],
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="wc",
+            program_path="/usr/bin/wc",
+            source=WC_SOURCE,
+            description="count bytes of a user-named file",
+            setup=_seed_home,
+            argv=["/usr/bin/wc", "a"],
+            expected_verdict=Verdict.BENIGN,
+        ),
+        Workload(
+            name="bc",
+            program_path="/usr/bin/bc",
+            source=BC_SOURCE,
+            description="command-line calculator on user input",
+            stdin="17+25\n",
+            expected_verdict=Verdict.BENIGN,
+        ),
+    ]

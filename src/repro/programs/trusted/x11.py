@@ -1,0 +1,98 @@
+"""xeyes analogue (paper section 8.2.11).
+
+The real xeyes produced several *Low* false positives: X11 protocol bytes
+— data hardcoded in the (untrusted) X11 shared objects — written to the
+local X server socket.  We reproduce the structure: the program links
+against a ``libX11.so`` guest shared object whose drawing routine writes
+its own hardcoded protocol data to a hardcoded LocalHost socket.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hth import HTH
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.kernel.network import SinkPeer
+from repro.programs.base import Workload
+
+X11_PORT = 6000
+
+LIBX11_SOURCE = r"""
+; libX11.so: minimal "X protocol" client library.  The protocol bytes are
+; hardcoded here - in a shared object the policy does NOT trust - which
+; is exactly what made the real xeyes warn.
+x11_connect:               ; x11_connect() -> eax = fd to the X server
+    push ebx
+    push ecx
+    push edx
+    mov ebx, x_host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov ebx, eax
+    mov edx, 6000
+    call connect_addr
+    mov eax, ebx
+    pop edx
+    pop ecx
+    pop ebx
+    ret
+
+x11_draw:                  ; x11_draw(ebx=fd): send a draw request
+    push ecx
+    push edx
+    mov ecx, xreq
+    mov edx, 8
+    call write
+    pop edx
+    pop ecx
+    ret
+.data
+x_host: .asciz "LocalHost"
+xreq:   .word 1, 0, 11, 0, 120, 101, 121, 101
+"""
+
+XEYES_SOURCE = r"""
+; xeyes: connect to the X server through libX11 and draw a few frames
+main:
+    call x11_connect
+    mov esi, eax
+    mov edi, 0
+frame:
+    cmp edi, 3
+    jge done
+    mov ebx, esi
+    call x11_draw
+    add edi, 1
+    jmp frame
+done:
+    mov ebx, esi
+    call close
+    mov eax, 0
+    ret
+"""
+
+
+def _setup(hth: HTH) -> None:
+    hth.network.add_peer("LocalHost", X11_PORT, lambda: SinkPeer("Xserver"))
+
+
+def x11_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="xeyes",
+            program_path="/usr/bin/xeyes",
+            source=XEYES_SOURCE,
+            description="X client writing libX11-hardcoded protocol bytes "
+                        "to the local X socket (acceptable Low FPs)",
+            setup=_setup,
+            expected_verdict=Verdict.LOW,
+            expected_rules=("check_binary_to_socket",),
+            extra_libraries=(("/usr/lib/libX11.so", LIBX11_SOURCE),),
+        ),
+    ]

@@ -1,0 +1,86 @@
+"""Execution-flow rules (paper section 4.1 / appendix A.2).
+
+Implemented as one production, ``check_execve``, following the appendix:
+it matches a ``system_call_access`` fact for SYS_execve whose resource
+origin survives the trusted-binary / trusted-socket filters, and grades
+the warning:
+
+* hardcoded process name                      -> Low
+* hardcoded + rarely-executed code            -> Medium
+* process name originated from a socket       -> High
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.expert.conditions import Pattern, Test, V
+from repro.expert.engine import Rule, RuleContext
+from repro.secpert.policy import PolicyConfig
+from repro.secpert.warnings import SecurityWarning, Severity, WarningSink
+
+
+def build_exec_flow_rules(policy: PolicyConfig) -> List[Rule]:
+    def suspicious(bindings) -> bool:
+        origin = bindings["origin"]
+        return bool(
+            policy.filter_binary(origin) or policy.filter_socket(origin)
+        )
+
+    def check_execve(ctx: RuleContext) -> None:
+        sink: WarningSink = ctx.context["warn"]
+        origin = ctx["origin"]
+        name = ctx["name"]
+        frequency = ctx["frequency"]
+        time = ctx["time"]
+        suspicious_binaries = policy.filter_binary(origin)
+        suspicious_sockets = policy.filter_socket(origin)
+
+        severity = Severity.LOW
+        rare = policy.is_rare(frequency, time)
+        if suspicious_binaries and rare:
+            severity = Severity.MEDIUM
+        if suspicious_sockets:
+            severity = Severity.HIGH
+
+        details = []
+        if suspicious_binaries:
+            sources = ", ".join(f'("{b}")' for b in suspicious_binaries)
+            details.append(f'("{name}") originated from {sources}')
+        if suspicious_sockets:
+            sources = ", ".join(f'("{s}")' for s in suspicious_sockets)
+            details.append(
+                f'("{name}") originated from a socket: {sources}'
+            )
+        if rare:
+            details.append("This code is rarely executed...")
+
+        sink.add(
+            SecurityWarning(
+                severity=severity,
+                rule="check_execve",
+                headline=f'Found SYS_execve call ("{name}")',
+                details=tuple(details),
+                pid=ctx["pid"],
+                time=time,
+            )
+        )
+
+    rule = Rule(
+        name="check_execve",
+        doc="Warn when a new process's name is hardcoded or remote-supplied",
+        lhs=[
+            Pattern(
+                "system_call_access",
+                system_call_name="SYS_execve",
+                resource_name=V("name"),
+                resource_origin=V("origin"),
+                frequency=V("frequency"),
+                time=V("time"),
+                pid=V("pid"),
+            ),
+            Test(suspicious),
+        ],
+        action=check_execve,
+    )
+    return [rule]

@@ -1,0 +1,463 @@
+"""Information-flow rules (paper section 4.3).
+
+All rules match ``data_transfer`` facts with ``direction == "write"`` —
+writes are where information leaves the program.  The grading follows the
+policy tables in section 4.3 plus the concrete warning outputs of section
+8 (which pin down the cases the rule listing leaves implicit):
+
+====================  =====================  ==========
+flow                   identifier origins     severity
+====================  =====================  ==========
+BINARY -> FILE         file name hardcoded    High   (grabem, vixie, uttt)
+BINARY -> FILE         file name from socket  High
+BINARY -> SOCKET       address hardcoded      Low    (pwsafe, xeyes)
+USER INPUT -> FILE     file name hardcoded    High   (complete grabem)
+USER INPUT -> SOCKET   address hardcoded      High   (PWSteal pattern)
+FILE -> FILE           user+hard / hard+user  Low
+FILE -> FILE           hard+hard              High
+FILE -> SOCKET         user+hard / hard+user  Low
+FILE -> SOCKET         hard+hard              High
+FILE -> server socket  file name hardcoded    High   (pma outpipe->socket)
+SOCKET -> FILE         grid as FILE->FILE     Low/High
+server socket -> FILE  file name hardcoded    High   (pma socket->inpipe)
+HARDWARE -> FILE       file name hardcoded    High
+HARDWARE -> SOCKET     address hardcoded      High   (inferred; PWSteal
+                                                      sends a machine ID)
+====================  =====================  ==========
+
+Flows whose identifiers are all user-supplied are trusted (no warning).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.expert.conditions import Pattern, Test, V
+from repro.expert.engine import Rule, RuleContext
+from repro.secpert.policy import PolicyConfig
+from repro.secpert.warnings import SecurityWarning, Severity, WarningSink
+from repro.taint.tags import DataSource, Tag, TagSet
+
+
+def _origin_note(
+    policy: PolicyConfig, what: str, origin: TagSet
+) -> Optional[str]:
+    """One human-readable line about where an identifier came from."""
+    binaries = policy.filter_binary(origin)
+    sockets = policy.filter_socket(origin)
+    if binaries:
+        names = ", ".join(f'("{b}")' for b in binaries)
+        return f"{what} was hardcoded in: {names}"
+    if sockets:
+        names = ", ".join(f'("{s}")' for s in sockets)
+        return f"{what} originated from a socket: {names}"
+    if origin.has_source(DataSource.USER_INPUT):
+        return f"{what} was given by the user"
+    return None
+
+
+class _FlowRuleBuilder:
+    """Shared vocabulary for the information-flow productions."""
+
+    def __init__(self, policy: PolicyConfig) -> None:
+        self.policy = policy
+
+    # -- fact views ------------------------------------------------------------
+    def _target_desc(self, ctx: RuleContext) -> str:
+        if ctx["resource_type"] == "SOCKET":
+            return f"{ctx['resource_name']} (AF_INET)"
+        return str(ctx["resource_name"])
+
+    def _rare_note(self, ctx: RuleContext) -> List[str]:
+        if self.policy.is_rare(ctx["frequency"], ctx["time"]):
+            return ["This code is rarely executed..."]
+        return []
+
+    def _server_target_notes(self, ctx: RuleContext) -> List[str]:
+        server = ctx.get("server_socket")
+        if not server:
+            return []
+        notes = [
+            "This program has opened a socket for remote connections. "
+            f"i.e. it is a server with the address: {server} (AF_INET)"
+        ]
+        note = _origin_note(
+            self.policy, "the server address", ctx["server_origin"]
+        )
+        if note:
+            notes.append(note)
+        return notes
+
+    def _server_source_notes(self, ctx: RuleContext) -> List[str]:
+        server = ctx.get("source_server_socket")
+        if not server:
+            return []
+        notes = [
+            "This program has opened a socket for remote connections. "
+            f"i.e. it is a server with the address: {server} (AF_INET)"
+        ]
+        note = _origin_note(
+            self.policy, "the server address", ctx["source_server_origin"]
+        )
+        if note:
+            notes.append(note)
+        return notes
+
+    def _warn(
+        self,
+        ctx: RuleContext,
+        rule: str,
+        severity: Severity,
+        headline: str,
+        details: List[str],
+    ) -> None:
+        sink: WarningSink = ctx.context["warn"]
+        sink.add(
+            SecurityWarning(
+                severity=severity,
+                rule=rule,
+                headline=headline,
+                details=tuple(d for d in details if d),
+                pid=ctx["pid"],
+                time=ctx["time"],
+            )
+        )
+
+    # -- severity grid for named-source flows ------------------------------------
+    def _grade_flow(
+        self,
+        source_origin: TagSet,
+        target_origin: TagSet,
+        source_server_hardcoded: bool,
+        target_server_hardcoded: bool,
+    ) -> Optional[Severity]:
+        """Section 4.3 rule 1's grid, extended with server context.
+
+        An endpoint counts as "hardcoded" when its own identifier came
+        from an untrusted binary or a socket, *or* when it is a connection
+        accepted on a server socket whose address was hardcoded (the pma
+        relay case, section 8.3.6).
+        """
+        policy = self.policy
+        s_hard = (
+            policy.is_hardcoded(source_origin)
+            or policy.from_socket(source_origin)
+            or source_server_hardcoded
+        )
+        t_hard = (
+            policy.is_hardcoded(target_origin)
+            or policy.from_socket(target_origin)
+            or target_server_hardcoded
+        )
+        s_user = policy.from_user(source_origin)
+        t_user = policy.from_user(target_origin)
+        if s_hard and t_hard:
+            return Severity.HIGH
+        if s_hard and t_user:
+            return Severity.LOW
+        if s_user and t_hard:
+            return Severity.LOW
+        if s_hard or t_hard:
+            # The other side has no recorded origin (e.g. an accepted
+            # connection on a user-named server): suspicious, unconfirmed.
+            return Severity.LOW
+        return None
+
+
+def build_info_flow_rules(policy: PolicyConfig) -> List[Rule]:
+    b = _FlowRuleBuilder(policy)
+    rules: List[Rule] = []
+
+    write_pattern = Pattern(
+        "data_transfer",
+        direction="write",
+        resource_name=V("resource_name"),
+        resource_type=V("resource_type"),
+        data_tags=V("data_tags"),
+        resource_origin=V("resource_origin"),
+        source_origins=V("source_origins"),
+        server_socket=V("server_socket"),
+        server_origin=V("server_origin"),
+        source_server_socket=V("source_server_socket"),
+        source_server_origin=V("source_server_origin"),
+        content_type=V("content_type"),
+        time=V("time"),
+        frequency=V("frequency"),
+        pid=V("pid"),
+    )
+
+    # ---- BINARY data -> file / socket ------------------------------------
+    def binary_flow_applies(bindings) -> bool:
+        data: TagSet = bindings["data_tags"]
+        if not policy.filter_binary(data):
+            return False
+        target: TagSet = bindings["resource_origin"]
+        if bindings["resource_type"] == "FILE":
+            return policy.is_hardcoded(target) or policy.from_socket(target)
+        if bindings["resource_type"] == "SOCKET":
+            return (
+                policy.is_hardcoded(target)
+                or policy.is_hardcoded(bindings["server_origin"])
+            )
+        return False
+
+    def binary_flow_action(ctx: RuleContext) -> None:
+        data: TagSet = ctx["data_tags"]
+        target_origin: TagSet = ctx["resource_origin"]
+        name = ctx["resource_name"]
+        binaries = policy.filter_binary(data)
+        if ctx["resource_type"] == "FILE":
+            details: List[str] = []
+            for binary in binaries:
+                details.append(
+                    "The Data written to this file is originated from the "
+                    f'BINARY:("{binary}")'
+                )
+            if policy.is_hardcoded(target_origin):
+                names = ", ".join(
+                    f'("{o}")' for o in policy.filter_binary(target_origin)
+                )
+                details.append(
+                    f"Moreover, it seems that the name of the file: {name} "
+                    f"originated from a BINARY: {names}"
+                )
+            else:  # remote-supplied file name
+                socks = ", ".join(
+                    f'("{s}")' for s in policy.filter_socket(target_origin)
+                )
+                details.append(
+                    f"Moreover, the name of the file: {name} originated "
+                    f"from a socket: {socks}"
+                )
+            details.extend(b._rare_note(ctx))
+            b._warn(
+                ctx,
+                "check_binary_to_file",
+                Severity.HIGH,
+                f"Found Write call to {name}",
+                details,
+            )
+            return
+        # SOCKET target: one warning per untrusted binary source (the
+        # paper's pwsafe run emits one per shared object).
+        server_hardcoded = policy.is_hardcoded(ctx["server_origin"])
+        severity = Severity.HIGH if server_hardcoded else Severity.LOW
+        for binary in binaries:
+            details = [
+                f"Data Flowing From: {binary} To: {b._target_desc(ctx)}",
+            ]
+            if policy.is_hardcoded(target_origin):
+                names = ", ".join(
+                    f'("{o}")' for o in policy.filter_binary(target_origin)
+                )
+                details.append(
+                    f"target (client) socket-name was hardcoded in: {names}"
+                )
+            details.extend(b._server_target_notes(ctx))
+            details.extend(b._rare_note(ctx))
+            b._warn(
+                ctx,
+                "check_binary_to_socket",
+                severity,
+                "Found Write call",
+                details,
+            )
+
+    rules.append(
+        Rule(
+            name="check_binary_flow",
+            doc="Hardcoded data flowing to a file or socket",
+            lhs=[write_pattern, Test(binary_flow_applies)],
+            action=binary_flow_action,
+        )
+    )
+
+    # ---- USER INPUT data -> hardcoded file / socket -------------------------
+    def user_flow_applies(bindings) -> bool:
+        data: TagSet = bindings["data_tags"]
+        if not data.has_source(DataSource.USER_INPUT):
+            return False
+        target: TagSet = bindings["resource_origin"]
+        return policy.is_hardcoded(target) and bindings["resource_type"] in (
+            "FILE",
+            "SOCKET",
+        )
+
+    def user_flow_action(ctx: RuleContext) -> None:
+        name = ctx["resource_name"]
+        kind = "file" if ctx["resource_type"] == "FILE" else "socket"
+        names = ", ".join(
+            f'("{o}")' for o in policy.filter_binary(ctx["resource_origin"])
+        )
+        details = [
+            f"Data typed by the user is written to the {kind}: {name}",
+            f"the {kind} name was hardcoded in: {names}",
+        ]
+        details.extend(b._server_target_notes(ctx))
+        details.extend(b._rare_note(ctx))
+        b._warn(
+            ctx,
+            "check_user_input_flow",
+            Severity.HIGH,
+            f"Found Write call to {name}",
+            details,
+        )
+
+    rules.append(
+        Rule(
+            name="check_user_input_flow",
+            doc="User input captured into a hardcoded file or socket",
+            lhs=[write_pattern, Test(user_flow_applies)],
+            action=user_flow_action,
+        )
+    )
+
+    # ---- HARDWARE data -> hardcoded file / socket -----------------------------
+    def hardware_flow_applies(bindings) -> bool:
+        data: TagSet = bindings["data_tags"]
+        if not data.has_source(DataSource.HARDWARE):
+            return False
+        return policy.is_hardcoded(bindings["resource_origin"])
+
+    def hardware_flow_action(ctx: RuleContext) -> None:
+        name = ctx["resource_name"]
+        kind = "file" if ctx["resource_type"] == "FILE" else "socket"
+        names = ", ".join(
+            f'("{o}")' for o in policy.filter_binary(ctx["resource_origin"])
+        )
+        details = [
+            "The Data written is originated from the HARDWARE",
+            f"the {kind} name: {name} was hardcoded in: {names}",
+        ]
+        details.extend(b._rare_note(ctx))
+        b._warn(
+            ctx,
+            "check_hardware_flow",
+            Severity.HIGH,
+            f"Found Write call to {name}",
+            details,
+        )
+
+    rules.append(
+        Rule(
+            name="check_hardware_flow",
+            doc="Hardware-identifying data flowing to a hardcoded resource",
+            lhs=[write_pattern, Test(hardware_flow_applies)],
+            action=hardware_flow_action,
+        )
+    )
+
+    # ---- named-resource flows: FILE/SOCKET source -> FILE/SOCKET target -------
+    def resource_flow_pairs(
+        bindings,
+    ) -> List[Tuple[Tag, TagSet, Severity]]:
+        source_server_hard = policy.is_hardcoded(
+            bindings["source_server_origin"]
+        )
+        target_server_hard = policy.is_hardcoded(bindings["server_origin"])
+        out = []
+        for tag, source_origin in bindings["source_origins"]:
+            severity = b._grade_flow(
+                source_origin,
+                bindings["resource_origin"],
+                source_server_hard,
+                target_server_hard,
+            )
+            if severity is not None:
+                out.append((tag, source_origin, severity))
+        return out
+
+    def resource_flow_applies(bindings) -> bool:
+        if bindings["resource_type"] not in ("FILE", "SOCKET"):
+            return False
+        return bool(resource_flow_pairs(bindings))
+
+    def resource_flow_action(ctx: RuleContext) -> None:
+        target_origin: TagSet = ctx["resource_origin"]
+        for tag, source_origin, severity in resource_flow_pairs(ctx.bindings):
+            source_desc = tag.name
+            if tag.source is DataSource.SOCKET:
+                source_desc = f"{tag.name} (AF_INET)"
+            details = [
+                f"Data Flowing From: {source_desc} "
+                f"To: {b._target_desc(ctx)}"
+            ]
+            source_kind = (
+                "filename" if tag.source is DataSource.FILE else "socket-name"
+            )
+            note = _origin_note(
+                policy, f"source {source_kind}", source_origin
+            )
+            if note:
+                details.append(note)
+            target_kind = (
+                "file-name" if ctx["resource_type"] == "FILE"
+                else "socket-name"
+            )
+            note = _origin_note(policy, f"target {target_kind}", target_origin)
+            if note:
+                details.append(note)
+            details.extend(b._server_source_notes(ctx))
+            details.extend(b._server_target_notes(ctx))
+            details.extend(b._rare_note(ctx))
+            b._warn(
+                ctx,
+                "check_resource_flow",
+                severity,
+                "Found Write call",
+                details,
+            )
+
+    rules.append(
+        Rule(
+            name="check_resource_flow",
+            doc="File/socket contents flowing to files/sockets with "
+                "suspicious identifier origins",
+            lhs=[write_pattern, Test(resource_flow_applies)],
+            action=resource_flow_action,
+        )
+    )
+
+    # ---- executable content downloaded to disk (section 10 item 5) --------
+    def exe_download_applies(bindings) -> bool:
+        if bindings["resource_type"] != "FILE":
+            return False
+        if bindings["content_type"] not in ("executable", "script"):
+            return False
+        data: TagSet = bindings["data_tags"]
+        return data.has_source(DataSource.SOCKET)
+
+    def exe_download_action(ctx: RuleContext) -> None:
+        name = ctx["resource_name"]
+        sources = ", ".join(
+            f'("{t.name}")' for t in ctx["data_tags"]
+            if t.source is DataSource.SOCKET and t.name
+        )
+        details = [
+            f"The content being saved is {ctx['content_type']} code "
+            f"downloaded from the network: {sources}",
+        ]
+        note = _origin_note(
+            policy, "the file name", ctx["resource_origin"]
+        )
+        if note:
+            details.append(note)
+        details.extend(b._rare_note(ctx))
+        b._warn(
+            ctx,
+            "check_executable_download",
+            Severity.HIGH,
+            f"Found Write call to {name} (downloaded executable)",
+            details,
+        )
+
+    rules.append(
+        Rule(
+            name="check_executable_download",
+            doc="Executable content arriving from the network and being "
+                "saved to disk (the Trojan.Lodeight downloader pattern)",
+            lhs=[write_pattern, Test(exe_download_applies)],
+            action=exe_download_action,
+        )
+    )
+    return rules

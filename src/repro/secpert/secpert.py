@@ -1,0 +1,105 @@
+"""Secpert — the security expert (paper section 6).
+
+Receives Harrier's events, asserts them as CLIPS facts, runs the inference
+engine, and collects the warnings the policy rules produce.  Facts are
+ephemeral (asserted per event, retracted after the engine quiesces), which
+matches the prototype's resolution protocol; the fire trace persists so
+the expert system can explain its advice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.expert.engine import FiredRule, InferenceEngine
+from repro.harrier.analyzer import EventAnalyzer
+from repro.harrier.events import SecurityEvent
+from repro.secpert.exec_flow_rules import build_exec_flow_rules
+from repro.secpert.facts import ALL_TEMPLATES, event_to_fact
+from repro.secpert.info_flow_rules import build_info_flow_rules
+from repro.secpert.policy import PolicyConfig
+from repro.secpert.resource_rules import build_resource_rules
+from repro.secpert.warnings import SecurityWarning, WarningSink
+
+
+class Secpert(EventAnalyzer):
+    def __init__(self, policy: Optional[PolicyConfig] = None) -> None:
+        self.policy = policy or PolicyConfig()
+        self.sink = WarningSink()
+        self.engine = self._build_engine()
+
+    def _build_engine(self) -> InferenceEngine:
+        engine = InferenceEngine()
+        for template in ALL_TEMPLATES:
+            engine.define_template(template)
+        for rule in (
+            build_exec_flow_rules(self.policy)
+            + build_resource_rules(self.policy)
+            + build_info_flow_rules(self.policy)
+        ):
+            engine.add_rule(rule)
+        engine.context["warn"] = self.sink
+        engine.context["policy"] = self.policy
+        return engine
+
+    # -- EventAnalyzer ---------------------------------------------------------
+    def analyze(self, event: SecurityEvent) -> Sequence[SecurityWarning]:
+        fact = event_to_fact(event)
+        if fact is None:
+            return ()
+        before = len(self.sink)
+        self.engine.assert_fact(fact)
+        self.engine.run()
+        self.engine.retract(fact)
+        new = self.sink.warnings[before:]
+        # Stamp the triggering event onto the warnings for explanations.
+        stamped = [
+            SecurityWarning(
+                severity=w.severity,
+                rule=w.rule,
+                headline=w.headline,
+                details=w.details,
+                event=event,
+                pid=w.pid,
+                time=w.time,
+            )
+            for w in new
+        ]
+        self.sink.warnings[before:] = stamped
+        return stamped
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def warnings(self) -> List[SecurityWarning]:
+        return self.sink.warnings
+
+    def explanations(self) -> List[FiredRule]:
+        """The engine's fire trace (which rule fired on which facts)."""
+        return list(self.engine.fire_trace)
+
+    def explain(self, warning: SecurityWarning) -> str:
+        """A CLIPS-style explanation of one warning (appendix A shapes):
+        the asserted fact that triggered it, the production that fired,
+        and the advice — "an expert system can give the user all of the
+        information that was used to reach its conclusion" (§6.2.1)."""
+        from repro.expert.clips_format import render_assert
+        from repro.secpert.facts import event_to_fact
+
+        lines = []
+        if warning.event is not None:
+            fact = event_to_fact(warning.event)
+            if fact is not None:
+                lines.append(render_assert(fact))
+                lines.append("")
+        rule = next(
+            (r for r in self.engine.rules if r.name == warning.rule), None
+        )
+        lines.append(f"FIRE {warning.rule}")
+        if rule is not None and rule.doc:
+            lines.append(f"  ; {rule.doc}")
+        lines.append("")
+        lines.append(warning.render())
+        return "\n".join(lines)
+
+    def render_warnings(self) -> str:
+        return self.sink.render_all()

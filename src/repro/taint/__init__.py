@@ -1,0 +1,22 @@
+"""Multi-source taint model (paper section 5.1).
+
+Public surface:
+
+* :class:`DataSource` — the resource-type vocabulary.
+* :class:`Tag` — one provenance record (source type + resource name).
+* :class:`TagSet` — immutable set of tags; union is the dataflow operation.
+* :class:`ShadowRegisters` / :class:`ShadowMemory` — per-location tag stores.
+"""
+
+from repro.taint.shadow import ShadowMemory, ShadowRegisters
+from repro.taint.tags import EMPTY, DataSource, Tag, TagSet, union_all
+
+__all__ = [
+    "DataSource",
+    "Tag",
+    "TagSet",
+    "EMPTY",
+    "union_all",
+    "ShadowRegisters",
+    "ShadowMemory",
+]

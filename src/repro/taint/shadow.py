@@ -1,0 +1,116 @@
+"""Shadow state: per-register and per-memory-cell tag storage.
+
+Harrier (paper section 7.3.1) "tags each register and memory location with
+one or more data sources".  The shadow structures here are the backing store
+for that: a :class:`ShadowRegisters` map for the CPU's register file and a
+:class:`ShadowMemory` map for the flat address space.
+
+Untagged locations implicitly carry the empty tag set; ``ShadowMemory`` only
+stores non-empty entries so that large untouched regions cost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.taint.tags import EMPTY, TagSet
+
+
+class ShadowRegisters:
+    """Tag set per register name."""
+
+    __slots__ = ("_tags",)
+
+    def __init__(self) -> None:
+        self._tags: Dict[str, TagSet] = {}
+
+    def get(self, reg: str) -> TagSet:
+        return self._tags.get(reg, EMPTY)
+
+    def set(self, reg: str, tags: TagSet) -> None:
+        if tags.is_empty():
+            self._tags.pop(reg, None)
+        else:
+            self._tags[reg] = tags
+
+    def clear(self) -> None:
+        self._tags.clear()
+
+    def snapshot(self) -> Dict[str, TagSet]:
+        """A shallow copy of the live entries (TagSets are immutable)."""
+        return dict(self._tags)
+
+    def copy(self) -> "ShadowRegisters":
+        dup = ShadowRegisters()
+        dup._tags = dict(self._tags)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{r}={t}" for r, t in sorted(self._tags.items()))
+        return f"ShadowRegisters({inner})"
+
+
+class ShadowMemory:
+    """Tag set per memory address (sparse)."""
+
+    __slots__ = ("_tags",)
+
+    def __init__(self) -> None:
+        self._tags: Dict[int, TagSet] = {}
+
+    def get(self, addr: int) -> TagSet:
+        return self._tags.get(addr, EMPTY)
+
+    def set(self, addr: int, tags: TagSet) -> None:
+        if tags.is_empty():
+            self._tags.pop(addr, None)
+        else:
+            self._tags[addr] = tags
+
+    def set_range(self, start: int, length: int, tags: TagSet) -> None:
+        """Tag ``length`` consecutive cells starting at ``start``."""
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        if tags.is_empty():
+            for addr in range(start, start + length):
+                self._tags.pop(addr, None)
+        else:
+            for addr in range(start, start + length):
+                self._tags[addr] = tags
+
+    def get_range(self, start: int, length: int) -> Tuple[TagSet, ...]:
+        return tuple(self.get(addr) for addr in range(start, start + length))
+
+    def union_of_range(self, start: int, length: int) -> TagSet:
+        """Union of the tags over a region (the tag of the region's data)."""
+        result = EMPTY
+        for addr in range(start, start + length):
+            ts = self._tags.get(addr)
+            if ts is not None:
+                result = result.union(ts)
+        return result
+
+    def clear(self) -> None:
+        self._tags.clear()
+
+    def live_cells(self) -> Iterator[Tuple[int, TagSet]]:
+        """Iterate the non-empty entries (sorted by address)."""
+        return iter(sorted(self._tags.items()))
+
+    def copy(self) -> "ShadowMemory":
+        dup = ShadowMemory()
+        dup._tags = dict(self._tags)
+        return dup
+
+    def copy_within(self, src: int, dst: int, length: int) -> None:
+        """Copy tags for a memory-to-memory move (memcpy semantics)."""
+        # Read first so overlapping regions behave like memmove.
+        tags = [self.get(src + i) for i in range(length)]
+        for i, ts in enumerate(tags):
+            self.set(dst + i, ts)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShadowMemory(<{len(self._tags)} tagged cells>)"

@@ -1,0 +1,193 @@
+"""Multi-source taint tags.
+
+The paper (section 5.1) rejects a single "taint bit" in favour of rich
+per-location tags.  Every register and memory cell carries a *set* of
+:class:`Tag` values, where each tag records a :class:`DataSource` type and
+the name of the concrete resource the data came from (a file path, a socket
+address, a binary image path, ...).
+
+``TagSet`` is immutable and hash-consed-ish (empty set is a singleton) so it
+can be shared freely between shadow-memory cells without aliasing bugs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+
+class DataSource(enum.Enum):
+    """The resource types the policy distinguishes (paper section 5.1)."""
+
+    USER_INPUT = "USER_INPUT"
+    FILE = "FILE"
+    SOCKET = "SOCKET"
+    BINARY = "BINARY"
+    HARDWARE = "HARDWARE"
+    #: The paper (footnote 4) notes that a prototype needs an UNKNOWN source
+    #: for locations no rule has tagged yet.
+    UNKNOWN = "UNKNOWN"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Tag:
+    """One provenance record: *what kind* of resource and *which one*.
+
+    ``name`` is ``None`` for sources that have no meaningful identifier
+    (USER_INPUT from stdin, HARDWARE, UNKNOWN).
+    """
+
+    source: DataSource
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.source, DataSource):
+            raise TypeError(f"source must be a DataSource, got {self.source!r}")
+
+    def renamed(self, name: Optional[str]) -> "Tag":
+        """Return a copy of this tag pointing at a different resource name."""
+        return Tag(self.source, name)
+
+    def sort_key(self) -> tuple:
+        return (self.source.value, self.name or "")
+
+    def __str__(self) -> str:
+        if self.name is None:
+            return self.source.value
+        return f"{self.source.value}({self.name})"
+
+
+class TagSet:
+    """An immutable set of :class:`Tag` values.
+
+    Union is the fundamental operation: the paper's dataflow rule for
+    ``add %ebx, %eax`` is that the destination's tag set becomes the union
+    of both operand tag sets (section 7.3.1).
+    """
+
+    __slots__ = ("_tags",)
+
+    _EMPTY: "TagSet" = None  # type: ignore[assignment]
+
+    def __init__(self, tags: Iterable[Tag] = ()) -> None:
+        frozen = frozenset(tags)
+        for tag in frozen:
+            if not isinstance(tag, Tag):
+                raise TypeError(f"TagSet elements must be Tags, got {tag!r}")
+        object.__setattr__(self, "_tags", frozen)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TagSet":
+        """The canonical empty tag set (a singleton)."""
+        if cls._EMPTY is None:
+            cls._EMPTY = cls(())
+        return cls._EMPTY
+
+    @classmethod
+    def of(cls, source: DataSource, name: Optional[str] = None) -> "TagSet":
+        """A tag set holding exactly one tag."""
+        return cls((Tag(source, name),))
+
+    # -- set algebra ------------------------------------------------------
+    @property
+    def tags(self) -> FrozenSet[Tag]:
+        return self._tags
+
+    def union(self, *others: "TagSet") -> "TagSet":
+        """Union of this set with any number of others."""
+        merged = set(self._tags)
+        changed = False
+        for other in others:
+            if not isinstance(other, TagSet):
+                raise TypeError(f"can only union TagSets, got {other!r}")
+            if not other._tags <= merged:
+                merged.update(other._tags)
+                changed = True
+        if not changed:
+            return self
+        return TagSet(merged)
+
+    def with_tag(self, tag: Tag) -> "TagSet":
+        if tag in self._tags:
+            return self
+        return TagSet(self._tags | {tag})
+
+    def without_source(self, source: DataSource) -> "TagSet":
+        """Drop every tag of the given source type."""
+        kept = [t for t in self._tags if t.source is not source]
+        if len(kept) == len(self._tags):
+            return self
+        return TagSet(kept)
+
+    def restrict(self, *sources: DataSource) -> "TagSet":
+        """Keep only tags whose source type is in ``sources``."""
+        wanted = set(sources)
+        kept = [t for t in self._tags if t.source in wanted]
+        if len(kept) == len(self._tags):
+            return self
+        return TagSet(kept)
+
+    # -- queries ----------------------------------------------------------
+    def has_source(self, source: DataSource) -> bool:
+        return any(t.source is source for t in self._tags)
+
+    def names_for(self, source: DataSource) -> Tuple[str, ...]:
+        """All resource names recorded for a given source type, sorted."""
+        return tuple(
+            sorted(t.name for t in self._tags if t.source is source and t.name)
+        )
+
+    def sources(self) -> FrozenSet[DataSource]:
+        return frozenset(t.source for t in self._tags)
+
+    def is_empty(self) -> bool:
+        return not self._tags
+
+    def is_only(self, source: DataSource) -> bool:
+        """True when the set is non-empty and every tag has this source."""
+        return bool(self._tags) and all(t.source is source for t in self._tags)
+
+    # -- dunder -----------------------------------------------------------
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(sorted(self._tags, key=Tag.sort_key))
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in self._tags
+
+    def __bool__(self) -> bool:
+        return bool(self._tags)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TagSet):
+            return NotImplemented
+        return self._tags == other._tags
+
+    def __hash__(self) -> int:
+        return hash(self._tags)
+
+    def __or__(self, other: "TagSet") -> "TagSet":
+        return self.union(other)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(t) for t in sorted(self._tags, key=Tag.sort_key))
+        return f"TagSet({{{inner}}})"
+
+
+#: Convenience constant used throughout the shadow state.
+EMPTY = TagSet.empty()
+
+
+def union_all(tagsets: Iterable[TagSet]) -> TagSet:
+    """Union an iterable of tag sets (empty iterable -> empty set)."""
+    result = TagSet.empty()
+    for ts in tagsets:
+        result = result.union(ts)
+    return result

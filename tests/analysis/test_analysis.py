@@ -1,0 +1,167 @@
+"""Analysis-module tests: Secure Binary checker, characterization tables,
+instrumentation views."""
+
+from repro.analysis import (
+    GRANULARITY_TABLE,
+    TABLE1_PROFILES,
+    check_secure_binary,
+    extract_strings,
+    instrumentation_listing,
+    render_listing,
+    table1_rows,
+    table2_rows,
+)
+from repro.isa import assemble
+from repro.programs.libc import libc_image
+
+
+class TestSecureBinary:
+    def test_hardcoded_execve_flagged(self):
+        image = assemble(
+            "/bin/bad",
+            """
+main:
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    ret
+.data
+prog: .asciz "/bin/ls"
+""",
+        )
+        report = check_secure_binary(image)
+        assert not report.is_secure
+        v = report.violations[0]
+        assert v.symbol == "prog"
+        assert v.string == "/bin/ls"
+        assert v.routine == "execve"
+        assert "process name" in str(v)
+
+    def test_user_driven_program_clean(self):
+        image = assemble(
+            "/bin/good",
+            """
+main:
+    mov ebp, esp
+    load eax, [ebp+2]
+    load ebx, [eax+1]
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    ret
+""",
+        )
+        assert check_secure_binary(image).is_secure
+
+    def test_hardcoded_write_content_flagged(self):
+        image = assemble(
+            "/bin/writer",
+            """
+main:
+    mov ecx, payload
+    mov edx, 5
+    mov ebx, 3
+    call write
+    ret
+.data
+payload: .asciz "leak!"
+""",
+        )
+        report = check_secure_binary(image)
+        assert any(v.usage == "resource content" for v in report.violations)
+
+    def test_reference_far_from_call_not_flagged(self):
+        # the data reference flows out of the straight-line region (ret)
+        image = assemble(
+            "/bin/far",
+            """
+main:
+    mov ebx, s
+    ret
+helper:
+    call open
+    ret
+.data
+s: .asciz "/etc/x"
+""",
+        )
+        assert check_secure_binary(image).is_secure
+
+    def test_extract_strings(self):
+        image = assemble(
+            "/bin/t",
+            'main: ret\n.data\nmsg: .asciz "hi"\nnum: .word 300\n',
+        )
+        strings = extract_strings(image)
+        assert strings == {"msg": "hi"}  # 300 is not printable text
+
+    def test_render_mentions_status(self):
+        image = assemble("/bin/t", "main: ret")
+        assert "SECURE" in check_secure_binary(image).render()
+
+    def test_libc_itself_reports_violations(self):
+        # libc's system() hardcodes /bin/sh: the checker sees it (trust is
+        # a *policy* decision, not a static property)
+        report = check_secure_binary(libc_image())
+        assert any(v.string == "/bin/sh" for v in report.violations)
+
+
+class TestCharacterization:
+    def test_table1_has_nine_exploits(self):
+        assert len(TABLE1_PROFILES) == 9
+        assert len(table1_rows()) == 9
+
+    def test_all_profiles_have_hardcoded_resources_or_not_flag(self):
+        # every profiled exploit runs without user intervention (the
+        # defining Trojan property from section 2.2)
+        assert all(p.no_user_intervention for p in TABLE1_PROFILES)
+
+    def test_table1_row_marks(self):
+        rows = {r[0]: r for r in table1_rows()}
+        pwsteal = rows["PWSteal.Tarno.Q"]
+        assert pwsteal[1] == "X"  # no user intervention
+        assert pwsteal[4] == ""   # does not degrade performance
+
+    def test_table2_combination_count(self):
+        rows = table2_rows()
+        # USER_INPUT, BINARY, HARDWARE have one row each; FILE and SOCKET
+        # have four origin rows each -> 3 + 8
+        assert len(rows) == 11
+
+    def test_table2_file_origins(self):
+        file_rows = [r for r in table2_rows() if r[0] == "FILE"]
+        origins = {r[2] for r in file_rows}
+        assert origins == {"USER_INPUT", "FILE", "SOCKET", "BINARY"}
+
+
+class TestInstrumentation:
+    def test_granularity_table_matches_paper(self):
+        assert len(GRANULARITY_TABLE) == 10
+        levels = {row.level for row in GRANULARITY_TABLE}
+        assert levels == {
+            "Architectural events", "OS (API) events", "Library (API) events"
+        }
+
+    def test_listing_inserts_expected_calls(self):
+        image = assemble(
+            "/bin/t",
+            """
+main:
+    mov eax, 5
+    int 0x80
+    ret
+""",
+        )
+        rows = instrumentation_listing(image)
+        assert rows[0][1].splitlines() == [
+            "Call Collect_BB_Frequency", "Call Track_DataFlow"
+        ]
+        assert "Call Monitor_SystemCalls" in rows[1][1]
+        assert rows[2][1] == ""  # ret gets no analysis call
+
+    def test_render_listing_text(self):
+        image = assemble("/bin/t", "main:\n  mov eax, 1\n  int 0x80")
+        text = render_listing(image)
+        assert "Call Monitor_SystemCalls" in text
+        assert "int $0x80" in text

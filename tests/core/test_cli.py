@@ -1,0 +1,202 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+TROJAN_SOURCE = """
+main:
+    mov ebx, secret
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 64
+    call read
+    mov edi, eax
+    mov ebx, esi
+    call close
+    mov ebx, drop
+    mov ecx, 0x241
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, edi
+    call write
+    mov eax, 0
+    ret
+.data
+secret: .asciz "/etc/shadow"
+drop: .asciz "/tmp/.loot"
+buf: .space 64
+"""
+
+HELLO_SOURCE = """
+main:
+    mov ebx, msg
+    call print
+    mov eax, 0
+    ret
+.data
+msg: .asciz "hi there"
+"""
+
+
+@pytest.fixture
+def trojan_file(tmp_path):
+    path = tmp_path / "trojan.s"
+    path.write_text(TROJAN_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def hello_file(tmp_path):
+    path = tmp_path / "hello.s"
+    path.write_text(HELLO_SOURCE)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_benign_run(self, hello_file, capsys):
+        code = main(["run", hello_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict : BENIGN" in out
+        assert "hi there" in out
+
+    def test_detection_with_fail_on(self, trojan_file, capsys):
+        code = main([
+            "run", trojan_file,
+            "--file", "/etc/shadow=root:hash",
+            "--fail-on", "high",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verdict : HIGH" in out
+        assert "Secpert advice" in out
+
+    def test_fail_on_not_reached(self, hello_file):
+        assert main(["run", hello_file, "--fail-on", "low"]) == 0
+
+    def test_guest_path_override(self, hello_file, capsys):
+        main(["run", hello_file, "--path", "/usr/bin/custom"])
+        assert "/usr/bin/custom" in capsys.readouterr().out
+
+    def test_events_dump(self, trojan_file, capsys):
+        main(["run", trojan_file, "--file", "/etc/shadow=x", "--events"])
+        out = capsys.readouterr().out
+        assert "Harrier events" in out
+        assert "SYS_open" in out
+
+    def test_serve_option_feeds_data(self, tmp_path, capsys):
+        source = tmp_path / "dl.s"
+        source.write_text("""
+main:
+    mov ebx, host
+    call gethostbyname
+    mov ecx, eax
+    call socket
+    mov ebx, eax
+    mov edx, 80
+    push ebx
+    call connect_addr
+    pop ebx
+    mov ecx, buf
+    mov edx, 32
+    call read
+    mov edx, eax
+    mov ebx, 1
+    mov ecx, buf
+    call write
+    mov eax, 0
+    ret
+.data
+host: .asciz "srv.example"
+buf: .space 32
+""")
+        code = main(["run", str(source), "--serve",
+                     "srv.example:80=served-bytes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served-bytes" in out
+
+    def test_no_dataflow_flag(self, trojan_file, capsys):
+        code = main([
+            "run", trojan_file,
+            "--file", "/etc/shadow=x",
+            "--no-dataflow",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict : BENIGN" in out  # no provenance, no warnings
+
+    def test_bad_file_option(self, hello_file):
+        with pytest.raises(SystemExit):
+            main(["run", hello_file, "--file", "no-equals-sign"])
+
+    def test_missing_source(self, capsys):
+        assert main(["run", "/no/such/file.s"]) == 2
+
+    def test_assembly_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("main:\n  frobnicate eax\n")
+        assert main(["run", str(bad)]) == 2
+        assert "assembly error" in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_insecure_binary(self, trojan_file, capsys):
+        code = main(["audit", trojan_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT SECURE" in out
+        assert "/etc/shadow" in out
+
+    def test_secure_binary(self, hello_file, capsys):
+        # `print` writes string content hardcoded in the app... the hello
+        # message reaches print -> flagged as resource content; a truly
+        # clean program touches no resources.
+        clean = hello_file.replace("hello.s", "clean.s")
+        import pathlib
+
+        pathlib.Path(clean).write_text(
+            "main:\n  mov eax, 0\n  ret\n"
+        )
+        assert main(["audit", clean]) == 0
+
+
+class TestInstrumentCommand:
+    def test_listing(self, hello_file, capsys):
+        assert main(["instrument", hello_file]) == 0
+        out = capsys.readouterr().out
+        assert "Call Track_DataFlow" in out
+        assert "Call Collect_BB_Frequency" in out
+
+
+class TestTableCommand:
+    def test_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Infrequent execve" in out
+        assert "MISMATCH" not in out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+
+    def test_ext_table(self, capsys):
+        assert main(["table", "ext"]) == 0
+        assert "lodeight" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", "-o", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "# HTH reproduction report" in text
+        assert "## Table 8" in text
+        assert "| pma |" in text
+        assert "| NO |" not in text  # no mismatches

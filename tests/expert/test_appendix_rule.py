@@ -1,0 +1,172 @@
+"""Appendix A.2, executed: the paper's ``check_execve`` CLIPS rule —
+including its ``resolution`` fact protocol (match RESOLVE, retract the
+event and the resolution, assert STOP) — expressed against our engine.
+
+This demonstrates that the from-scratch production system can host the
+paper's rules in their original *shape*, not just in the streamlined form
+Secpert uses.
+"""
+
+import pytest
+
+from repro.expert import (
+    InferenceEngine,
+    Pattern,
+    Rule,
+    Template,
+    Test,
+    V,
+)
+
+RARE_FREQUENCY = 2
+LONG_TIME = 100
+TRUSTED = {"/lib/tls/libc.so.6", "ld-linux.so"}
+
+
+def empty_list(values):
+    return not values
+
+
+def filter_binary(origin_types, origin_names):
+    """The appendix's filter_binary: untrusted binaries in the origin."""
+    return tuple(
+        name
+        for kind, name in zip(origin_types, origin_names)
+        if kind == "BINARY" and name not in TRUSTED
+    )
+
+
+def filter_socket(origin_types, origin_names):
+    return tuple(
+        name
+        for kind, name in zip(origin_types, origin_names)
+        if kind == "SOCKET"
+    )
+
+
+@pytest.fixture
+def engine():
+    eng = InferenceEngine()
+    eng.define_template(
+        Template.define(
+            "system_call_access",
+            "system_call_name", "resource_name", "resource_type",
+            "time", "frequency", "address",
+            multi=("resource_origin_name", "resource_origin_type"),
+        )
+    )
+    eng.define_template(Template.define("resolution", "status"))
+    eng.context["output"] = []
+
+    def suspicious(bindings):
+        return not empty_list(
+            filter_binary(bindings["otypes"], bindings["onames"])
+        ) or not empty_list(
+            filter_socket(bindings["otypes"], bindings["onames"])
+        )
+
+    def check_execve(ctx):
+        output = ctx.context["output"]
+        suspicious_binaries = filter_binary(ctx["otypes"], ctx["onames"])
+        suspicious_sockets = filter_socket(ctx["otypes"], ctx["onames"])
+        warning = 1  # low
+        if ctx["freq"] < RARE_FREQUENCY and ctx["time"] > LONG_TIME:
+            warning = 2  # medium
+        if not empty_list(suspicious_sockets):
+            warning = 3  # high
+        label = {1: "LOW", 2: "MEDIUM", 3: "HIGH"}[warning]
+        output.append(
+            f"Warning [{label}] Found SYS_execve call "
+            f'("{ctx["name"]}")'
+        )
+        source = suspicious_binaries or suspicious_sockets
+        output.append(f'\t("{ctx["name"]}") originated from {source}')
+        # the appendix's resolution protocol:
+        ctx.retract(ctx["execve"])
+        ctx.retract(ctx["resolution"])
+        ctx.assert_fact(
+            ctx.engine.templates["resolution"].make(status="STOP")
+        )
+
+    eng.add_rule(
+        Rule(
+            name="check_execve",
+            lhs=[
+                Pattern(
+                    "system_call_access",
+                    bind_as="execve",
+                    system_call_name="SYS_execve",
+                    resource_name=V("name"),
+                    resource_origin_name=V("onames"),
+                    resource_origin_type=V("otypes"),
+                    time=V("time"),
+                    frequency=V("freq"),
+                ),
+                Pattern("resolution", bind_as="resolution",
+                        status="RESOLVE"),
+                Test(suspicious),
+            ],
+            action=check_execve,
+        )
+    )
+    return eng
+
+
+def assert_event(engine, name, origin_name, origin_type, time=33, freq=1):
+    """The appendix A.1 fact, asserted."""
+    engine.assert_fact(
+        engine.templates["system_call_access"].make(
+            system_call_name="SYS_execve",
+            resource_name=name,
+            resource_type="FILE",
+            resource_origin_name=[origin_name],
+            resource_origin_type=[origin_type],
+            time=time,
+            frequency=freq,
+            address="8048403",
+        )
+    )
+    engine.assert_fact(
+        engine.templates["resolution"].make(status="RESOLVE")
+    )
+
+
+class TestAppendixRule:
+    def test_a3_firing_and_output(self, engine):
+        """The A.1 fact + RESOLVE fires the rule once with the A.3 text."""
+        assert_event(
+            engine, "/bin/ls",
+            "/proj/arch4/mmoffie/PIN/MicroBenchmarks/execve/execve.exe",
+            "BINARY",
+        )
+        fired = engine.run()
+        assert fired == 1
+        output = engine.context["output"]
+        assert output[0] == 'Warning [LOW] Found SYS_execve call ("/bin/ls")'
+        assert "execve.exe" in output[1]
+
+    def test_resolution_protocol_consumed(self, engine):
+        assert_event(engine, "/bin/ls", "/evil", "BINARY")
+        engine.run()
+        # event retracted, RESOLVE consumed, STOP asserted
+        assert engine.facts("system_call_access") == []
+        statuses = [f["status"] for f in engine.facts("resolution")]
+        assert statuses == ["STOP"]
+
+    def test_trusted_origin_filtered(self, engine):
+        """The ElmExploit case: /bin/sh's string comes from trusted libc,
+        so the rule never fires and the event stays unresolved."""
+        assert_event(engine, "/bin/sh", "/lib/tls/libc.so.6", "BINARY")
+        assert engine.run() == 0
+        assert engine.context["output"] == []
+
+    def test_rare_upgrade_to_medium(self, engine):
+        assert_event(engine, "/bin/ls", "/evil", "BINARY",
+                     time=500, freq=1)
+        engine.run()
+        assert engine.context["output"][0].startswith("Warning [MEDIUM]")
+
+    def test_socket_origin_high(self, engine):
+        assert_event(engine, "/bin/date", "gateway:9", "SOCKET")
+        engine.run()
+        assert engine.context["output"][0].startswith("Warning [HIGH]")

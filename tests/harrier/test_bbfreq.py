@@ -1,0 +1,126 @@
+"""Basic-block frequency tests (paper section 7.4): app-only counting and
+last-app-BB attribution across shared-object calls."""
+
+from repro.core.hth import HTH
+from repro.harrier.events import ResourceAccessEvent
+from repro.isa import assemble
+
+
+def run_capture(source, path="/bin/t", argv=None):
+    hth = HTH()
+    proc = None
+    original = hth.kernel.spawn
+
+    def capture(*a, **k):
+        nonlocal proc
+        proc = original(*a, **k)
+        return proc
+
+    hth.kernel.spawn = capture
+    report = hth.run(assemble(path, source), argv=argv)
+    return report, hth.harrier.shadow(proc), proc, hth
+
+
+class TestCounting:
+    def test_loop_block_counted_per_iteration(self):
+        source = """
+main:
+    mov edi, 0
+loop:
+    add edi, 1
+    cmp edi, 5
+    jl loop
+    mov eax, 0
+    ret
+"""
+        report, shadow, proc, hth = run_capture(source)
+        app = proc.image_map.app
+        loop_addr = app.symbol_addr("loop")
+        assert shadow.bb_counts[loop_addr] == 5
+
+    def test_entry_block_counted_once(self):
+        source = "main:\n  mov eax, 0\n  ret"
+        report, shadow, proc, hth = run_capture(source)
+        entry = proc.image_map.app.symbol_addr("main")
+        assert shadow.bb_counts[entry] == 1
+
+    def test_library_blocks_not_counted(self):
+        source = """
+main:
+    mov ebx, msg
+    call print
+    mov eax, 0
+    ret
+.data
+msg: .asciz "x"
+"""
+        report, shadow, proc, hth = run_capture(source)
+        libc = [li for li in proc.image_map if li.name == "/lib/libc.so"][0]
+        counted_in_libc = [
+            addr for addr in shadow.bb_counts
+            if libc.text_start <= addr < libc.text_end
+        ]
+        assert counted_in_libc == []
+        assert shadow.bb_counts  # app blocks were counted
+
+
+class TestEventAttribution:
+    def test_event_frequency_is_last_app_bb_count(self):
+        # The execve happens inside libc's wrapper; the event must report
+        # the frequency of the app block that called it (here: the loop
+        # body executed 3 times before the call path is taken).
+        source = """
+main:
+    mov edi, 0
+warm:
+    add edi, 1
+    cmp edi, 3
+    jl warm
+call_site:
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+.data
+prog: .asciz "/bin/ls"
+"""
+        report, shadow, proc, hth = run_capture(source)
+        events = [
+            e for e in report.events
+            if isinstance(e, ResourceAccessEvent)
+            and e.call_name == "SYS_execve"
+        ]
+        assert len(events) == 1
+        event = events[0]
+        # execve succeeded (the /bin/ls stub), replacing the image map -
+        # so compute the call site from the original image + APP_BASE.
+        from repro.isa import APP_BASE
+
+        call_site = APP_BASE + assemble("/bin/t", source).symbols["call_site"]
+        assert int(event.address, 16) == call_site
+        assert event.frequency == 1  # the call-site block ran once
+
+    def test_hot_call_site_reports_high_frequency(self):
+        source = """
+main:
+    mov edi, 0
+loop:
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    add edi, 1
+    cmp edi, 4
+    jl loop
+    mov eax, 0
+    ret
+.data
+prog: .asciz "/bin/missing"
+"""
+        report, shadow, proc, hth = run_capture(source)
+        events = [
+            e for e in report.events if e.call_name == "SYS_execve"
+        ]
+        assert [e.frequency for e in events] == [1, 2, 3, 4]

@@ -1,0 +1,67 @@
+"""Assembler robustness: arbitrary input either assembles or raises
+AssemblyError — never an unrelated exception — and assembly is
+deterministic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import AssemblyError, assemble
+
+_line_chars = st.characters(
+    min_codepoint=32, max_codepoint=126
+)
+_random_source = st.lists(
+    st.text(alphabet=_line_chars, max_size=40), max_size=12
+).map("\n".join)
+
+
+class TestRobustness:
+    @given(_random_source)
+    @settings(max_examples=200, deadline=None)
+    def test_never_raises_unexpected(self, source):
+        try:
+            assemble("/bin/fuzz", source)
+        except AssemblyError:
+            pass  # the one sanctioned failure mode
+
+    @given(_random_source)
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, source):
+        try:
+            first = assemble("/bin/fuzz", source)
+        except AssemblyError:
+            try:
+                assemble("/bin/fuzz", source)
+            except AssemblyError:
+                return
+            raise AssertionError("nondeterministic failure")
+        second = assemble("/bin/fuzz", source)
+        assert first.symbols == second.symbols
+        assert first.data == second.data
+        assert first.bb_leaders == second.bb_leaders
+        assert [str(i) for i in first.text] == [str(i) for i in second.text]
+
+    @given(st.text(alphabet=st.characters(min_codepoint=1,
+                                          max_codepoint=0x7F),
+                   max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_asciz_content_roundtrip(self, content):
+        """Any printable-ish string survives .asciz encoding (via the
+        assembler's own escaping)."""
+        escaped = (
+            content.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+        )
+        # control characters other than \n\t\r cannot be written literally
+        if any(ord(c) < 32 and c not in "\n\t\r" for c in content):
+            return
+        image = assemble(
+            "/bin/t", f'main: ret\n.data\ns: .asciz "{escaped}"'
+        )
+        base = image.symbols["s"]
+        chars = []
+        i = 0
+        while image.data.get(base + i, 0) != 0:
+            chars.append(chr(image.data[base + i]))
+            i += 1
+        assert "".join(chars) == content

@@ -1,0 +1,92 @@
+"""FlatMemory tests: cells, strings, code mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import FlatMemory, Instruction, MemoryFault, Opcode
+
+
+class TestCells:
+    def test_zero_fill(self):
+        mem = FlatMemory()
+        assert mem.read(0x1234) == 0
+
+    def test_write_read(self):
+        mem = FlatMemory()
+        mem.write(5, 42)
+        assert mem.read(5) == 42
+
+    def test_block_roundtrip(self):
+        mem = FlatMemory()
+        mem.write_block(10, [1, 2, 3])
+        assert mem.read_block(10, 3) == [1, 2, 3]
+        assert mem.read_block(9, 5) == [0, 1, 2, 3, 0]
+
+    def test_bytes_roundtrip(self):
+        mem = FlatMemory()
+        mem.write_bytes(0, b"abc")
+        assert mem.read_bytes(0, 3) == b"abc"
+
+    def test_bytes_masks_to_byte(self):
+        mem = FlatMemory()
+        mem.write(0, 0x1FF)
+        assert mem.read_bytes(0, 1) == b"\xff"
+
+
+class TestStrings:
+    def test_cstring_roundtrip(self):
+        mem = FlatMemory()
+        n = mem.write_cstring(100, "hello")
+        assert n == 6
+        assert mem.read_cstring(100) == "hello"
+
+    def test_empty_string(self):
+        mem = FlatMemory()
+        mem.write_cstring(0, "")
+        assert mem.read_cstring(0) == ""
+
+    def test_unterminated_string_faults(self):
+        mem = FlatMemory()
+        for i in range(10):
+            mem.write(i, ord("x"))
+        with pytest.raises(MemoryFault):
+            mem.read_cstring(0, max_len=5)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=1,
+                                          max_codepoint=0x7F),
+                   max_size=20))
+    def test_cstring_roundtrip_property(self, text):
+        mem = FlatMemory()
+        mem.write_cstring(50, text)
+        assert mem.read_cstring(50) == text
+
+
+class TestCode:
+    def test_map_and_fetch(self):
+        mem = FlatMemory()
+        nop = Instruction(Opcode.NOP)
+        assert mem.map_code(0x100, [nop, nop]) == 2
+        assert mem.fetch(0x101) is nop
+        assert mem.has_code(0x100)
+        assert not mem.has_code(0x102)
+
+    def test_fetch_unmapped_faults(self):
+        with pytest.raises(MemoryFault):
+            FlatMemory().fetch(0)
+
+    def test_overlapping_map_rejected(self):
+        mem = FlatMemory()
+        mem.map_code(0, [Instruction(Opcode.NOP)])
+        with pytest.raises(MemoryFault):
+            mem.map_code(0, [Instruction(Opcode.NOP)])
+
+    def test_copy_shares_instructions_but_not_cells(self):
+        mem = FlatMemory()
+        nop = Instruction(Opcode.NOP)
+        mem.map_code(0, [nop])
+        mem.write(5, 9)
+        dup = mem.copy()
+        dup.write(5, 10)
+        assert mem.read(5) == 9
+        assert dup.fetch(0) is nop

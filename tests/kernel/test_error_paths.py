@@ -1,0 +1,147 @@
+"""Kernel error-path tests: bad pointers, decode failures, unknown
+syscalls, errno names."""
+
+from repro.kernel.errors import errno_name
+
+
+class TestErrnoNames:
+    def test_known(self):
+        assert errno_name(2) == "ENOENT"
+        assert errno_name(9) == "EBADF"
+        assert errno_name(111) == "ECONNREFUSED"
+
+    def test_unknown(self):
+        assert errno_name(9999) == "errno9999"
+
+
+class TestBadPointers:
+    def test_open_unterminated_path_efault(self, guest):
+        # point the path at a huge unterminated string region
+        report = guest.run(
+            r"""
+main:
+    ; fill 5000 cells with 'A' so read_cstring never finds NUL
+    mov esi, 0x500000
+    mov edi, 0
+fill:
+    cmp edi, 5000
+    jge do_open
+    store [esi], 65
+    add esi, 1
+    add edi, 1
+    jmp fill
+do_open:
+    mov ebx, 0x500000
+    mov ecx, 0
+    call open
+    mov ebx, eax
+    call print_num
+    mov eax, 0
+    ret
+"""
+        )
+        assert report.console_output == "-14"  # -EFAULT
+
+    def test_execve_bad_pointer_efault(self, guest):
+        report = guest.run(
+            r"""
+main:
+    mov esi, 0x500000
+    mov edi, 0
+fill:
+    cmp edi, 5000
+    jge go
+    store [esi], 66
+    add esi, 1
+    add edi, 1
+    jmp fill
+go:
+    mov ebx, 0x500000
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov ebx, eax
+    call print_num
+    mov eax, 0
+    ret
+"""
+        )
+        assert report.console_output == "-14"
+
+
+class TestUnknownSyscall:
+    def test_enosys(self, guest):
+        report = guest.run(
+            r"""
+main:
+    mov eax, 999
+    int 0x80
+    mov ebx, eax
+    call print_num
+    mov eax, 0
+    ret
+"""
+        )
+        assert report.console_output == "-38"  # -ENOSYS
+
+
+class TestSocketErrors:
+    def test_write_to_unconnected_socket(self, guest):
+        report = guest.run(
+            r"""
+main:
+    call socket
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 4
+    call write
+    mov ebx, eax
+    call print_num
+    mov eax, 0
+    ret
+.data
+buf: .space 4
+"""
+        )
+        assert report.console_output == "-88"  # -ENOTSOCK (not connected)
+
+    def test_listen_before_bind(self, guest):
+        report = guest.run(
+            r"""
+main:
+    call socket
+    mov ebx, eax
+    call listen
+    mov ebx, eax
+    call print_num
+    mov eax, 0
+    ret
+"""
+        )
+        assert report.console_output == "-22"  # -EINVAL
+
+    def test_socketcall_on_regular_fd(self, guest):
+        def setup(hth):
+            hth.fs.write_text("/f", "x")
+
+        report = guest.run(
+            r"""
+main:
+    mov ebx, path
+    mov ecx, 0
+    call open
+    ; connect_addr on a file fd
+    mov ebx, eax
+    mov ecx, 0x7F000001
+    mov edx, 80
+    call connect_addr
+    mov ebx, eax
+    call print_num
+    mov eax, 0
+    ret
+.data
+path: .asciz "/f"
+""",
+            setup=setup,
+        )
+        assert report.console_output == "-88"  # -ENOTSOCK

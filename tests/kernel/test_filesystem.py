@@ -1,0 +1,114 @@
+"""Filesystem tests: nodes, flags, listings, FIFOs, /proc synthesis."""
+
+import pytest
+
+from repro.kernel import (
+    FileSystem,
+    NodeKind,
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+)
+from repro.kernel.errors import EEXIST, EISDIR, ENOENT
+
+
+@pytest.fixture
+def fs():
+    return FileSystem()
+
+
+class TestNamespace:
+    def test_initial_directories(self, fs):
+        assert fs.exists(".")
+        assert fs.exists("/")
+        assert fs.exists("/tmp")
+
+    def test_create_and_read(self, fs):
+        fs.write_text("/a.txt", "hello")
+        assert fs.read_text("/a.txt") == "hello"
+        assert fs.lookup("/a.txt").kind is NodeKind.FILE
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.read_text("/ghost")
+
+    def test_unlink(self, fs):
+        fs.write_text("/a", "x")
+        assert fs.unlink("/a") == 0
+        assert not fs.exists("/a")
+        assert fs.unlink("/a") == -ENOENT
+
+    def test_chmod(self, fs):
+        fs.write_text("/a", "x")
+        assert fs.chmod("/a", 0o755) == 0
+        assert fs.lookup("/a").is_executable()
+        assert fs.chmod("/ghost", 0o755) == -ENOENT
+
+    def test_mkfifo(self, fs):
+        assert fs.mkfifo("/pipe") == 0
+        assert fs.lookup("/pipe").kind is NodeKind.FIFO
+        assert fs.mkfifo("/pipe") == -EEXIST
+
+    def test_paths_sorted(self, fs):
+        fs.write_text("zz", "")
+        fs.write_text("aa", "")
+        paths = fs.paths()
+        assert paths.index("aa") < paths.index("zz")
+
+
+class TestListings:
+    def test_dot_lists_relative_paths(self, fs):
+        fs.write_text("alpha", "")
+        fs.write_text("beta", "")
+        fs.write_text("/abs", "")
+        listing = fs.listing(".")
+        assert "alpha\n" in listing
+        assert "beta\n" in listing
+        assert "abs" not in listing
+
+    def test_directory_prefix_listing(self, fs):
+        fs.write_text("/tmp/one", "")
+        fs.write_text("/tmp/two", "")
+        fs.write_text("/etc/other", "")
+        listing = fs.listing("/tmp")
+        assert listing == "one\ntwo\n"
+
+
+class TestResolveOpen:
+    def test_open_existing(self, fs):
+        fs.write_text("/a", "data")
+        node, err = fs.resolve_open("/a", O_RDONLY)
+        assert err == 0
+        assert bytes(node.data) == b"data"
+
+    def test_open_missing_without_creat(self, fs):
+        node, err = fs.resolve_open("/ghost", O_RDONLY)
+        assert node is None
+        assert err == -ENOENT
+
+    def test_open_creat_creates(self, fs):
+        node, err = fs.resolve_open("/new", O_WRONLY | O_CREAT)
+        assert err == 0
+        assert fs.exists("/new")
+
+    def test_trunc_clears(self, fs):
+        fs.write_text("/a", "old data")
+        node, err = fs.resolve_open("/a", O_WRONLY | O_TRUNC)
+        assert err == 0
+        assert bytes(node.data) == b""
+
+    def test_write_open_of_directory_rejected(self, fs):
+        node, err = fs.resolve_open("/tmp", O_WRONLY)
+        assert node is None
+        assert err == -EISDIR
+
+    def test_read_open_of_directory_allowed(self, fs):
+        node, err = fs.resolve_open("/tmp", O_RDONLY)
+        assert err == 0
+
+    def test_proc_environ_synthesis(self, fs):
+        node, err = fs.resolve_open("/proc/7/environ", O_RDONLY,
+                                    procs_environ="A=1\0B=2\0")
+        assert err == 0
+        assert bytes(node.data) == b"A=1\x00B=2\x00"

@@ -1,0 +1,113 @@
+"""Property-based tests on the policy's severity grading.
+
+Invariants the rules should satisfy regardless of the concrete tags:
+
+* *monotonicity* — adding suspicious provenance (an untrusted BINARY tag
+  or a SOCKET tag) to an identifier never lowers a flow's severity;
+* *trust soundness* — flows whose identifiers derive only from trusted
+  binaries and user input never warn;
+* *filter correctness* — trusted names never appear in filter output.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harrier.events import DataTransferEvent, ResourceId
+from repro.kernel.process import ResourceKind
+from repro.secpert import PolicyConfig, Secpert
+from repro.taint import DataSource, Tag, TagSet
+
+_trusted_tags = st.sampled_from([
+    Tag(DataSource.BINARY, "/lib/libc.so"),
+    Tag(DataSource.BINARY, "[startup]"),
+    Tag(DataSource.USER_INPUT, None),
+])
+_suspicious_tags = st.sampled_from([
+    Tag(DataSource.BINARY, "/home/evil/a.out"),
+    Tag(DataSource.BINARY, "/tmp/dropper"),
+    Tag(DataSource.SOCKET, "c2.example:80"),
+])
+_any_tags = st.one_of(_trusted_tags, _suspicious_tags)
+
+
+def tagset(tags):
+    return TagSet(tags)
+
+
+def write_event(data_tags, resource_origin, source_origins=()):
+    return DataTransferEvent(
+        pid=1, time=10, frequency=5, address="1000",
+        call_name="SYS_write", direction="write",
+        resource=ResourceId(ResourceKind.FILE, "/tmp/out"),
+        data_tags=data_tags,
+        resource_origin=resource_origin,
+        source_origins=source_origins,
+        length=4,
+    )
+
+
+def max_severity(warnings):
+    return max((w.severity for w in warnings), default=None)
+
+
+class TestGradingProperties:
+    @given(st.frozensets(_any_tags, max_size=4), _suspicious_tags)
+    def test_adding_suspicion_never_lowers_severity(self, base, extra):
+        """For a fixed hardcoded data payload, making the *target name*
+        more suspicious can only raise (or keep) the verdict."""
+        data = TagSet.of(DataSource.BINARY, "/home/evil/a.out")
+        baseline = max_severity(
+            Secpert().analyze(write_event(data, tagset(base)))
+        )
+        widened = max_severity(
+            Secpert().analyze(
+                write_event(data, tagset(set(base) | {extra}))
+            )
+        )
+        if baseline is not None:
+            assert widened is not None
+            assert widened >= baseline
+
+    @given(st.frozensets(_trusted_tags, max_size=3))
+    def test_fully_trusted_flows_never_warn(self, origin_tags):
+        """User data to a user/trusted-named file is always clean."""
+        data = TagSet.of(DataSource.USER_INPUT)
+        warnings = Secpert().analyze(
+            write_event(data, tagset(origin_tags))
+        )
+        assert warnings == []
+
+    @given(st.frozensets(_any_tags, max_size=5))
+    def test_filters_never_leak_trusted_names(self, tags):
+        policy = PolicyConfig()
+        origin = tagset(tags)
+        for name in policy.filter_binary(origin):
+            assert name not in policy.trusted_binaries
+
+    @given(st.frozensets(_any_tags, max_size=4))
+    def test_analysis_is_deterministic(self, tags):
+        """Same event, same verdict — the engine has no hidden state that
+        changes a fresh analysis."""
+        data = TagSet.of(DataSource.BINARY, "/home/evil/a.out")
+        event = write_event(data, tagset(tags))
+        first = [w.severity for w in Secpert().analyze(event)]
+        second = [w.severity for w in Secpert().analyze(event)]
+        assert first == second
+
+    @given(st.frozensets(_any_tags, min_size=1, max_size=4))
+    def test_source_grid_symmetric_in_low_band(self, origin_tags):
+        """hard->user and user->hard grade identically (both Low) for
+        named-resource flows (section 4.3 rule 1's symmetry)."""
+        policy = PolicyConfig()
+        hard = tagset({Tag(DataSource.BINARY, "/home/evil/a.out")})
+        user = tagset({Tag(DataSource.USER_INPUT, None)})
+        file_tag = Tag(DataSource.FILE, "/data")
+
+        def grade(src_origin, dst_origin):
+            event = write_event(
+                TagSet((file_tag,)), dst_origin,
+                source_origins=((file_tag, src_origin),),
+            )
+            return max_severity(Secpert().analyze(event))
+
+        assert grade(hard, user) == grade(user, hard)
