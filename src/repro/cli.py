@@ -15,6 +15,12 @@ Usage (also via ``python -m repro``)::
 
     # reproduce a paper table
     python -m repro table 6
+
+    # chaos stability: Table 8 exploits under 10 fault schedules
+    python -m repro chaos --table 8 --trials 10
+
+    # replay one fault schedule bit-for-bit from a RunReport seed
+    python -m repro chaos --table 8 --workload pma --seed 42 --show-faults
 """
 
 from __future__ import annotations
@@ -158,6 +164,88 @@ def cmd_table(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _chaos_profile(args: argparse.Namespace):
+    from dataclasses import replace as _dc_replace
+
+    from repro.faultinject import SEMANTIC_PROFILE, TRANSPARENT_PROFILE
+
+    profile = {
+        "transparent": TRANSPARENT_PROFILE,
+        "semantic": SEMANTIC_PROFILE,
+    }[args.profile]
+    overrides = {
+        name: getattr(args, name)
+        for name in ("stall_rate", "errno_rate", "connect_reset_rate",
+                     "resolve_fail_rate", "quantum_jitter", "max_faults")
+        if getattr(args, name) is not None
+    }
+    return _dc_replace(profile, **overrides) if overrides else profile
+
+
+def _chaos_workloads(args: argparse.Namespace):
+    import importlib
+
+    module_name, factory_name = _TABLE_BENCHES[args.table]
+    module = importlib.import_module(module_name)
+    workloads = getattr(module, factory_name)()
+    if args.workload:
+        wanted = set(args.workload)
+        workloads = [w for w in workloads if w.name in wanted]
+        missing = wanted - {w.name for w in workloads}
+        if missing:
+            raise SystemExit(
+                f"unknown workload(s) {sorted(missing)} in table "
+                f"{args.table}"
+            )
+    return workloads
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay paper scenarios under deterministic fault schedules."""
+    from repro.faultinject import chaos_seeds, run_chaos
+
+    profile = _chaos_profile(args)
+    workloads = _chaos_workloads(args)
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = chaos_seeds(args.base_seed, args.trials)
+    # With guest-visible (semantic) faults the verdict may legitimately
+    # move; the assertable property is graceful termination, not
+    # classification.
+    assert_verdicts = args.profile == "transparent"
+
+    width = max(len(w.name) for w in workloads)
+    failures = 0
+    for workload in workloads:
+        result = run_chaos(
+            workload, seeds, profile, wall_timeout=args.wall_timeout
+        )
+        verdicts = ",".join(sorted({v.value for v in result.verdicts}))
+        if assert_verdicts:
+            ok = result.stable
+            status = "stable" if ok else "UNSTABLE"
+        else:
+            ok = all(t.reason != "watchdog" for t in result.trials)
+            status = "graceful" if ok else "WEDGED"
+        failures += not ok
+        print(f"{workload.name:{width}s}  expected={result.expected.value:7s}"
+              f" seen={verdicts:7s} faults={result.total_faults:4d}"
+              f"  {status}")
+        if not ok and assert_verdicts:
+            print(f"{'':{width}s}  replay: repro chaos --table "
+                  f"{args.table} --workload {workload.name} "
+                  f"--seed {result.failing_seeds()[0]} --show-faults")
+        if args.show_faults:
+            for trial in result.trials:
+                print(f"  seed {trial.seed}: verdict={trial.verdict.value} "
+                      f"reason={trial.reason} "
+                      f"rules={','.join(trial.rules) or '-'}")
+                for fault in trial.faults:
+                    print(f"    {fault}")
+    return 1 if failures else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run every evaluation table and write one consolidated report."""
     import importlib
@@ -250,6 +338,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table.add_argument("number", choices=sorted(_TABLE_BENCHES))
     table.set_defaults(func=cmd_table)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay paper scenarios under deterministic fault schedules",
+    )
+    chaos.add_argument("--table", choices=sorted(_TABLE_BENCHES),
+                       default="8",
+                       help="workload table to perturb (default: 8)")
+    chaos.add_argument("--workload", action="append", metavar="NAME",
+                       help="restrict to named workload(s) (repeat)")
+    chaos.add_argument("--trials", type=int, default=10,
+                       help="fault schedules per workload (default: 10)")
+    chaos.add_argument("--base-seed", type=int, default=1337,
+                       help="base seed the trial seeds derive from")
+    chaos.add_argument("--seed", type=int,
+                       help="run exactly one schedule with this seed "
+                            "(bit-for-bit replay of a reported run)")
+    chaos.add_argument("--profile",
+                       choices=("transparent", "semantic"),
+                       default="transparent",
+                       help="transparent: semantics-preserving faults, "
+                            "verdicts asserted stable; semantic: guest-"
+                            "visible errno/reset/DNS faults, graceful "
+                            "degradation asserted instead")
+    chaos.add_argument("--stall-rate", type=float, dest="stall_rate")
+    chaos.add_argument("--errno-rate", type=float, dest="errno_rate")
+    chaos.add_argument("--connect-reset-rate", type=float,
+                       dest="connect_reset_rate")
+    chaos.add_argument("--resolve-fail-rate", type=float,
+                       dest="resolve_fail_rate")
+    chaos.add_argument("--quantum-jitter", type=float,
+                       dest="quantum_jitter")
+    chaos.add_argument("--max-faults", type=int, dest="max_faults")
+    chaos.add_argument("--wall-timeout", type=float, default=60.0,
+                       help="per-run watchdog in real seconds")
+    chaos.add_argument("--show-faults", action="store_true",
+                       help="dump every injected fault per trial")
+    chaos.set_defaults(func=cmd_chaos)
 
     report = sub.add_parser(
         "report", help="run every table and write a consolidated report"

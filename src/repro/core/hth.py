@@ -14,8 +14,9 @@ per experiment run.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.core.report import RunReport, Verdict
 from repro.harrier.analyzer import DecisionPolicy, always_continue
@@ -30,6 +31,9 @@ from repro.kernel.network import Network
 from repro.programs.libc import libc_image
 from repro.secpert.policy import PolicyConfig
 from repro.secpert.secpert import Secpert
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faultinject.injector import FaultInjector
 
 #: Paths commonly exec'd by the paper's workloads; HTH pre-registers tiny
 #: stub binaries for them so execve targets exist (detection happens at
@@ -53,9 +57,25 @@ main:
 
 
 @lru_cache(maxsize=64)
-def stub_binary(path: str) -> Image:
-    """A minimal executable that immediately exits successfully."""
+def _stub_template(path: str) -> Image:
     return assemble(path, _STUB_SOURCE)
+
+
+def stub_binary(path: str) -> Image:
+    """A minimal executable that immediately exits successfully.
+
+    Assembly is cached per path, but every call returns an image with its
+    own mutable containers (``data``/``symbols`` dicts): the cache must
+    never let one HTH machine's loader state leak into another.  The text
+    tuple is shared — instructions are frozen dataclasses, and the loader
+    relocates into a copy, never in place.
+    """
+    template = _stub_template(path)
+    return replace(
+        template,
+        data=dict(template.data),
+        symbols=dict(template.symbols),
+    )
 
 
 class HTH:
@@ -68,6 +88,7 @@ class HTH:
         monitored: bool = True,
         install_stubs: bool = True,
         analyzer=None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.policy = policy or PolicyConfig()
         #: The analysis side: Secpert by default, or any EventAnalyzer
@@ -86,7 +107,10 @@ class HTH:
         )
         libs = list(libraries) if libraries is not None else [libc_image()]
         hooks = self.harrier if monitored else None
-        self.kernel = Kernel(hooks=hooks, libraries=libs)
+        self.fault_injector = fault_injector
+        self.kernel = Kernel(
+            hooks=hooks, libraries=libs, fault_injector=fault_injector
+        )
         self.harrier.bind(self.kernel)
         if install_stubs:
             for path in STANDARD_BINARIES:
@@ -119,13 +143,17 @@ class HTH:
         env: Optional[Dict[str, str]] = None,
         stdin: Optional[Union[str, bytes]] = None,
         max_ticks: int = 5_000_000,
+        wall_timeout: Optional[float] = None,
     ) -> RunReport:
         """Spawn ``program``, run to completion, and report."""
         if stdin is not None:
             self.provide_input(stdin)
         self.kernel.write_hosts_file()
         proc = self.kernel.spawn(program, argv=argv, env=env)
-        result = self.kernel.run(max_ticks=max_ticks)
+        result = self.kernel.run(
+            max_ticks=max_ticks, wall_timeout=wall_timeout
+        )
+        injector = self.kernel.fault_injector
         return RunReport(
             program=proc.command,
             argv=list(proc.argv),
@@ -136,6 +164,15 @@ class HTH:
             exit_code=proc.exit_code,
             killed_by_monitor=proc.killed_by_monitor,
             faults=self.kernel.faults(),
+            fault_seed=injector.seed if injector is not None else None,
+            injected_faults=(
+                list(injector.injected) if injector is not None else []
+            ),
+            events_dropped=self.harrier.events_dropped,
+            monitor_faults=list(self.harrier.monitor_faults),
+            quarantined_rules=list(
+                getattr(self.analyzer, "quarantined_rules", [])
+            ),
         )
 
 
@@ -149,16 +186,26 @@ def run_monitored(
     harrier_config: Optional[HarrierConfig] = None,
     decision: DecisionPolicy = always_continue,
     max_ticks: int = 5_000_000,
+    fault_injector: Optional["FaultInjector"] = None,
+    wall_timeout: Optional[float] = None,
 ) -> RunReport:
     """One-shot convenience: build an HTH machine, run, report.
 
     ``setup(hth)`` runs before the program (seed files, register peers...).
     """
     hth = HTH(
-        policy=policy, harrier_config=harrier_config, decision=decision
+        policy=policy,
+        harrier_config=harrier_config,
+        decision=decision,
+        fault_injector=fault_injector,
     )
     if setup is not None:
         setup(hth)
     return hth.run(
-        program, argv=argv, env=env, stdin=stdin, max_ticks=max_ticks
+        program,
+        argv=argv,
+        env=env,
+        stdin=stdin,
+        max_ticks=max_ticks,
+        wall_timeout=wall_timeout,
     )

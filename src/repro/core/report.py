@@ -47,6 +47,19 @@ class RunReport:
     exit_code: Optional[int]
     killed_by_monitor: bool = False
     faults: List[Tuple[int, str]] = field(default_factory=list)
+    #: Seed of the fault injector, when the run was chaos-perturbed.
+    #: ``repro chaos --seed <this>`` replays the exact fault schedule.
+    fault_seed: Optional[int] = None
+    #: Faults the injector delivered (InjectedFault records, in order).
+    injected_faults: List[object] = field(default_factory=list)
+    #: Events discarded because the bounded Harrier log overflowed.
+    events_dropped: int = 0
+    #: Contained monitor-side failures (harrier.monitor.MonitorFault).
+    #: Deliberately *not* part of ``warnings``: a monitor fault reports
+    #: on the monitor, not the guest, so it must not move the verdict.
+    monitor_faults: List[object] = field(default_factory=list)
+    #: Secpert rules quarantined after raising during this run.
+    quarantined_rules: List[str] = field(default_factory=list)
 
     @property
     def max_severity(self) -> Optional[Severity]:
@@ -74,12 +87,30 @@ class RunReport:
     def render_warnings(self) -> str:
         return "\n\n".join(w.render() for w in self.warnings)
 
+    @property
+    def degraded(self) -> bool:
+        """True when the monitor itself took damage during this run."""
+        return bool(
+            self.monitor_faults
+            or self.quarantined_rules
+            or self.events_dropped
+        )
+
     def summary_line(self) -> str:
         counts = self.warning_counts()
         graded = " ".join(
             f"{label}={count}" for label, count in counts.items() if count
         )
+        extras = []
+        if self.fault_seed is not None:
+            extras.append(
+                f"chaos seed={self.fault_seed} "
+                f"faults={len(self.injected_faults)}"
+            )
+        if self.degraded:
+            extras.append("DEGRADED")
         return (
             f"{self.program}: verdict={self.verdict.value}"
             + (f" ({graded})" if graded else "")
+            + (f" [{'; '.join(extras)}]" if extras else "")
         )

@@ -104,6 +104,12 @@ class InferenceEngine:
         #: Free-form context shared with rule actions (Secpert stores the
         #: warning sink and policy config here).
         self.context: Dict[str, Any] = {}
+        #: Rules whose action raised: name -> "ErrorType: message".  A
+        #: quarantined rule stops matching (its agenda entries are
+        #: skipped) so one bad production cannot crash every subsequent
+        #: event; the quarantine survives reset() because the defect is
+        #: in the rule, not the working memory.
+        self.quarantined: Dict[str, str] = {}
 
     # -- definitions ---------------------------------------------------------
     def define_template(self, template: Template) -> Template:
@@ -156,6 +162,8 @@ class InferenceEngine:
         facts = list(self._facts.values())
         activations: List[Activation] = []
         for rule in self.rules:
+            if rule.name in self.quarantined:
+                continue
             for match in match_lhs(rule.lhs, facts):
                 activation = Activation(
                     rule=rule,
@@ -186,7 +194,12 @@ class InferenceEngine:
                 )
             )
             context = RuleContext(self, activation.bindings, activation.facts)
-            activation.rule.action(context)
+            try:
+                activation.rule.action(context)
+            except Exception as exc:  # noqa: BLE001 - rule containment
+                self.quarantined[activation.rule.name] = (
+                    f"{type(exc).__name__}: {exc}"
+                )
             fired += 1
         else:
             raise EngineError(f"run() exceeded fire limit ({limit})")

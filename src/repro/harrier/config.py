@@ -44,5 +44,10 @@ class HarrierConfig:
     complete_dataflow: bool = True
     #: Keep every emitted event in an in-memory log (tests/benchmarks).
     keep_event_log: bool = True
+    #: Upper bound on that log.  None (the default, used by the paper
+    #: benchmarks) keeps the historical unbounded behaviour; with a bound,
+    #: the oldest events are dropped first and ``Harrier.events_dropped``
+    #: counts every drop (surfaced in the RunReport).
+    max_event_log: int | None = None
     #: Window (in virtual ticks) for the process-creation *rate* rule.
     process_rate_window: int = 2000

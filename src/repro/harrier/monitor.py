@@ -15,6 +15,7 @@ through the :class:`KernelHooks` interface and
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.harrier.analyzer import (
@@ -39,6 +40,29 @@ from repro.taint.tags import DataSource, TagSet
 _SHADOW_KEY = "harrier.shadow"
 
 
+@dataclass(frozen=True)
+class MonitorFault:
+    """A contained failure of the monitor's own analysis machinery.
+
+    When a rule (or a whole analyzer) raises while processing an event,
+    Harrier quarantines the failure instead of propagating it into the
+    monitored run: the guest keeps executing, and this record — the
+    ``MONITOR_FAULT`` warning — surfaces in the :class:`RunReport` so the
+    degradation is visible rather than silent.
+    """
+
+    rule: str          # "MONITOR_FAULT" unless a specific rule is known
+    error: str         # "ExceptionType: message"
+    stage: str         # 'analyze' | 'decision'
+    event: object = None
+
+    def render(self) -> str:
+        return f"Warning [MONITOR_FAULT/{self.stage}] {self.error}"
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.render()
+
+
 class Harrier(KernelHooks):
     def __init__(
         self,
@@ -57,9 +81,15 @@ class Harrier(KernelHooks):
         )
         self.kernel: Optional[Kernel] = None
         #: Every event emitted, in order (when keep_event_log is set).
+        #: Bounded by config.max_event_log: the oldest entries are dropped
+        #: first and every drop is counted in ``events_dropped``.
         self.events: List[SecurityEvent] = []
+        #: Events discarded because the bounded log was full.
+        self.events_dropped: int = 0
         #: (event, warning) pairs where the decision policy said "kill".
         self.kills: List[Tuple[SecurityEvent, object]] = []
+        #: Contained analysis failures (see :class:`MonitorFault`).
+        self.monitor_faults: List[MonitorFault] = []
 
     # -- wiring -------------------------------------------------------------
     def bind(self, kernel: Kernel) -> "Harrier":
@@ -152,15 +182,56 @@ class Harrier(KernelHooks):
         self._dispatch(events)
 
     def _dispatch(self, events: List[SecurityEvent]) -> bool:
-        proceed = True
+        """Feed events to the analyzer; False means "kill the process".
+
+        Veto semantics: the *first* kill decision terminates the process,
+        so remaining events of the batch are not dispatched — they
+        describe a syscall that will never execute.  Analysis failures
+        are contained (see :class:`MonitorFault`): a crashing rule must
+        not take down the monitored run.
+        """
         for event in events:
-            if self.config.keep_event_log:
-                self.events.append(event)
-            for warning in self.analyzer.analyze(event):
-                if not self.decision(warning):
+            self._log_event(event)
+            try:
+                warnings = self.analyzer.analyze(event)
+            except Exception as exc:  # noqa: BLE001 - containment boundary
+                self._contain(event, exc, stage="analyze")
+                continue
+            for warning in warnings:
+                try:
+                    proceed = self.decision(warning)
+                except Exception as exc:  # noqa: BLE001
+                    self._contain(event, exc, stage="decision")
+                    proceed = True
+                if not proceed:
                     self.kills.append((event, warning))
-                    proceed = False
-        return proceed
+                    return False
+        return True
+
+    def _log_event(self, event: SecurityEvent) -> None:
+        if not self.config.keep_event_log:
+            return
+        cap = self.config.max_event_log
+        if cap is not None:
+            if cap <= 0:
+                self.events_dropped += 1
+                return
+            if len(self.events) >= cap:
+                del self.events[0]
+                self.events_dropped += 1
+        self.events.append(event)
+
+    def _contain(self, event: SecurityEvent, exc: Exception,
+                 stage: str) -> None:
+        rule = getattr(exc, "rule_name", "MONITOR_FAULT")
+        self.monitor_faults.append(
+            MonitorFault(
+                rule=str(rule),
+                error=f"{type(exc).__name__}: {exc}",
+                stage=stage,
+                event=event,
+            )
+        )
 
     # -- process lifecycle -------------------------------------------------------
     def on_fork(self, parent: Process, child: Process) -> None:

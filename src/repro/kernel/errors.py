@@ -10,6 +10,7 @@ from __future__ import annotations
 EPERM = 1
 ENOENT = 2
 ESRCH = 3
+EIO = 5
 EBADF = 9
 EAGAIN = 11
 ENOMEM = 12
@@ -24,6 +25,7 @@ EMFILE = 24
 ENOSPC = 28
 EPIPE = 32
 ENOSYS = 38
+ECONNRESET = 104
 ENOTSOCK = 88
 EOPNOTSUPP = 95
 EADDRINUSE = 98
@@ -35,6 +37,7 @@ ERRNO_NAMES = {
     EPERM: "EPERM",
     ENOENT: "ENOENT",
     ESRCH: "ESRCH",
+    EIO: "EIO",
     ENOEXEC: "ENOEXEC",
     EBADF: "EBADF",
     EAGAIN: "EAGAIN",
@@ -50,6 +53,7 @@ ERRNO_NAMES = {
     ENOSPC: "ENOSPC",
     EPIPE: "EPIPE",
     ENOSYS: "ENOSYS",
+    ECONNRESET: "ECONNRESET",
     ENOTSOCK: "ENOTSOCK",
     EOPNOTSUPP: "EOPNOTSUPP",
     EADDRINUSE: "EADDRINUSE",

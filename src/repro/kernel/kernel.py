@@ -13,8 +13,9 @@ micro-benchmark finish instantly in real time).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 from repro.isa.cpu import CPU, CpuFault, StepKind
 from repro.isa.image import Image
@@ -35,6 +36,9 @@ from repro.kernel.process import (
 )
 from repro.kernel.syscalls import NO_RESULT, SyscallTable
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faultinject.injector import FaultInjector
+
 #: Exit codes for abnormal termination.
 EXIT_KILLED_BY_MONITOR = 137   # 128 + SIGKILL
 EXIT_FAULT = 139               # 128 + SIGSEGV
@@ -42,9 +46,16 @@ EXIT_FAULT = 139               # 128 + SIGSEGV
 
 @dataclass
 class RunResult:
-    """Outcome of one :meth:`Kernel.run` call."""
+    """Outcome of one :meth:`Kernel.run` call.
 
-    reason: str                      # 'all-exited' | 'max-ticks' | 'deadlock'
+    ``reason`` is one of ``'all-exited'`` (every process finished),
+    ``'max-ticks'`` (virtual-time budget exhausted), ``'deadlock'`` (live
+    processes but no event can ever wake them), or ``'watchdog'`` (the
+    wall-clock limit passed to :meth:`Kernel.run` expired — a runaway
+    guest was converted into a clean result instead of a hang).
+    """
+
+    reason: str
     ticks: int
     instructions: int
     exit_codes: Dict[int, Optional[int]] = field(default_factory=dict)
@@ -62,8 +73,11 @@ class Kernel:
         hooks: Optional[KernelHooks] = None,
         libraries: Sequence[Image] = (),
         quantum: int = 200,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.hooks = hooks or NullHooks()
+        #: Optional deterministic chaos source (see repro.faultinject).
+        self.fault_injector = fault_injector
         self.fs = FileSystem()
         self.network = Network()
         self.console = Console()
@@ -251,10 +265,27 @@ class Kernel:
         return list(self._fault_log)
 
     # -- scheduler ---------------------------------------------------------------
-    def run(self, max_ticks: int = 5_000_000) -> RunResult:
-        """Round-robin schedule until everything exits (or deadlock/budget)."""
+    def run(
+        self,
+        max_ticks: int = 5_000_000,
+        wall_timeout: Optional[float] = None,
+    ) -> RunResult:
+        """Round-robin schedule until everything exits (or deadlock/budget).
+
+        ``wall_timeout`` (seconds of real time) arms a watchdog: a guest
+        that outlives it yields a ``'watchdog'`` result instead of hanging
+        the caller.  Checked once per scheduler pass, so the overshoot is
+        at most one quantum per runnable process.
+        """
         deadline = self.now + max_ticks
+        wall_deadline = (
+            _time.monotonic() + wall_timeout
+            if wall_timeout is not None else None
+        )
         while self.now < deadline:
+            if (wall_deadline is not None
+                    and _time.monotonic() >= wall_deadline):
+                return self._result("watchdog")
             self.network.deliver_due(self.now)
             self._wake_sleepers()
             self._retry_blocked()
@@ -313,7 +344,10 @@ class Kernel:
         return True
 
     def _run_quantum(self, proc: Process, deadline: int) -> None:
-        for _ in range(self.quantum):
+        quantum = self.quantum
+        if self.fault_injector is not None:
+            quantum = self.fault_injector.quantum(quantum)
+        for _ in range(quantum):
             if proc.state is not ProcessState.RUNNABLE or self.now >= deadline:
                 return
             try:
@@ -352,7 +386,17 @@ class Kernel:
         info: Dict[str, object],
     ) -> None:
         try:
-            result, extra = self.syscalls.dispatch(proc, sysno, args)
+            injected = None
+            if self.fault_injector is not None:
+                injected = self.fault_injector.before_syscall(
+                    self.now, proc, sysno, args, info
+                )
+            if injected is not None:
+                # The monitor saw the attempt (pre-event already fired);
+                # the injected errno replaces the handler's execution.
+                result, extra = injected, {"injected_fault": True}
+            else:
+                result, extra = self.syscalls.dispatch(proc, sysno, args)
         except WouldBlock as block:
             proc.state = ProcessState.BLOCKED
             proc.pending = PendingSyscall(sysno, args)

@@ -51,6 +51,7 @@ class Workload:
         self,
         policy: Optional[PolicyConfig] = None,
         harrier_config: Optional[HarrierConfig] = None,
+        fault_injector=None,
     ) -> "HTH":  # noqa: F821
         from repro.core.hth import HTH
 
@@ -66,6 +67,7 @@ class Workload:
             policy=policy,
             harrier_config=harrier_config or self.harrier_config,
             libraries=libraries,
+            fault_injector=fault_injector,
         )
         if self.setup is not None:
             self.setup(hth)
@@ -75,14 +77,17 @@ class Workload:
         self,
         policy: Optional[PolicyConfig] = None,
         harrier_config: Optional[HarrierConfig] = None,
+        fault_injector=None,
+        wall_timeout: Optional[float] = None,
     ) -> RunReport:
-        hth = self.build_machine(policy, harrier_config)
+        hth = self.build_machine(policy, harrier_config, fault_injector)
         return hth.run(
             self.image(),
             argv=self.argv or [self.program_path],
             env=self.env,
             stdin=self.stdin,
             max_ticks=self.max_ticks,
+            wall_timeout=wall_timeout,
         )
 
     def classified_correctly(self, report: RunReport) -> bool:

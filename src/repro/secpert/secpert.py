@@ -73,6 +73,11 @@ class Secpert(EventAnalyzer):
     def warnings(self) -> List[SecurityWarning]:
         return self.sink.warnings
 
+    @property
+    def quarantined_rules(self) -> List[str]:
+        """Names of rules the engine disabled after they raised."""
+        return sorted(self.engine.quarantined)
+
     def explanations(self) -> List[FiredRule]:
         """The engine's fire trace (which rule fired on which facts)."""
         return list(self.engine.fire_trace)
