@@ -1,9 +1,16 @@
 """Figure 5 — Harrier instrumentation example: the analysis calls
-inserted around an original instruction stream."""
+inserted around an original instruction stream.
+
+The second benchmark closes the loop: the instrumentation points the
+listing *claims* (Track_DataFlow / Collect_BB_Frequency /
+Monitor_SystemCalls) must correspond to live activity in the telemetry
+registry when the same fragment actually runs under the monitor."""
 
 from benchmarks.harness import once, write_result
 from repro.analysis.instrumentation import render_listing
+from repro.core.hth import HTH
 from repro.isa import assemble
+from repro.telemetry import Telemetry
 
 # The figure's original code shape: moves, a branch, then a syscall.
 FIGURE5_FRAGMENT = """
@@ -27,3 +34,23 @@ def bench_fig5_instrumentation(benchmark):
     assert "Call Track_DataFlow" in text
     assert "Call Collect_BB_Frequency" in text
     assert "Call Monitor_SystemCalls" in text
+
+
+def bench_fig5_registry_evidence(benchmark):
+    """Each rendered instrumentation call shows up in the registry."""
+    listing = render_listing(assemble("/bin/fig5", FIGURE5_FRAGMENT))
+
+    def run():
+        telemetry = Telemetry.enabled()
+        hth = HTH(telemetry=telemetry)
+        hth.run(assemble("/bin/fig5", FIGURE5_FRAGMENT))
+        return telemetry.metrics
+
+    registry = once(benchmark, run)
+    # Track_DataFlow ran per instruction...
+    assert registry.total("cpu_instructions_total") > 0
+    # ...Collect_BB_Frequency counted the executed blocks...
+    assert registry.total("harrier_bb_executions") > 0
+    # ...and Monitor_SystemCalls saw the fragment's int 0x80.
+    assert registry.total("kernel_syscalls_total") >= 1
+    assert "Call Track_DataFlow" in listing

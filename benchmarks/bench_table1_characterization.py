@@ -1,11 +1,20 @@
 """Table 1 — execution patterns exhibited by malicious code.
 
 Regenerates the characterization matrix of nine real-world exploits
-(section 2.1/2.2) from the structured profiles.
+(section 2.1/2.2) from the structured profiles, then measures the
+runtime *footprint* of the runnable analogues straight from the
+telemetry registry (instructions, syscalls, monitor event volumes).
 """
 
-from benchmarks.harness import once, render_table, write_result
+from benchmarks.harness import (
+    FOOTPRINT_METRICS,
+    once,
+    render_table,
+    workload_footprint,
+    write_result,
+)
 from repro.analysis.characterization import TABLE1_PROFILES, table1_rows
+from repro.programs.scenarios import scenario_workloads
 
 
 def bench_table1_characterization(benchmark):
@@ -21,3 +30,30 @@ def bench_table1_characterization(benchmark):
     assert len(rows) == 9
     # the defining Trojan property holds for every profiled exploit
     assert all(p.no_user_intervention for p in TABLE1_PROFILES)
+
+
+def bench_table1_workload_footprint(benchmark):
+    """Registry-sourced execution footprint of the §2.1 analogues."""
+    workloads = scenario_workloads()
+
+    def run():
+        return [(w.name, workload_footprint(w)) for w in workloads]
+
+    footprints = once(benchmark, run)
+    labels = [label for label, _ in FOOTPRINT_METRICS]
+    rows = [
+        (name, *(f"{counts[label]:,.0f}" for label in labels))
+        for name, counts in footprints
+    ]
+    text = render_table(
+        "Table 1 (footprint): registry totals per runnable analogue",
+        ("Exploit", *labels),
+        rows,
+    )
+    write_result("table1_workload_footprint.txt", text)
+    print("\n" + text)
+    # every analogue actually executed and was observed by the monitor
+    for name, counts in footprints:
+        assert counts["instructions"] > 0, name
+        assert counts["syscalls"] > 0, name
+        assert counts["harrier events"] > 0, name

@@ -46,8 +46,37 @@ def write_result(name: str, text: str) -> pathlib.Path:
 
 def run_workloads(
     workloads: Sequence[Workload],
+    telemetry=None,
 ) -> List[Tuple[Workload, RunReport]]:
-    return [(w, w.run()) for w in workloads]
+    return [(w, w.run(telemetry=telemetry)) for w in workloads]
+
+
+#: Registry totals every benchmark footprint table reports.
+FOOTPRINT_METRICS = (
+    ("instructions", "cpu_instructions_total"),
+    ("syscalls", "kernel_syscalls_total"),
+    ("bb executions", "harrier_bb_executions"),
+    ("harrier events", "harrier_events_emitted_total"),
+    ("secpert facts", "secpert_facts_asserted_total"),
+)
+
+
+def workload_footprint(workload: Workload) -> dict:
+    """Run one workload under an enabled hub; return registry totals.
+
+    The numbers come from the live telemetry registry, not from ad-hoc
+    counters in the benchmark — the benchmarks consume the same metrics
+    the rest of the stack exposes.
+    """
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.enabled()
+    workload.run(telemetry=telemetry)
+    registry = telemetry.metrics
+    return {
+        label: registry.total(metric)
+        for label, metric in FOOTPRINT_METRICS
+    }
 
 
 def classification_rows(

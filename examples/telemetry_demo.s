@@ -1,0 +1,48 @@
+; telemetry_demo.s — a small guest that exercises every telemetry layer:
+; file creation/read-back (fs syscalls + FILE-taint dataflow), a console
+; write (the tainted bytes reach an output channel), and enough basic
+; blocks for the bbfreq counters to matter.
+;
+;     python -m repro profile examples/telemetry_demo.s
+;     python -m repro run examples/telemetry_demo.s --trace trace.json --metrics
+
+main:
+    ; stash a payload in a scratch file
+    mov ebx, path
+    call creat
+    mov esi, eax            ; fd
+    mov ebx, payload
+    call strlen
+    mov edx, eax
+    mov ebx, esi
+    mov ecx, payload
+    call write
+    mov ebx, esi
+    call close
+
+    ; read it back — buf now carries FILE provenance
+    mov ebx, path
+    mov ecx, 0
+    call open
+    mov esi, eax
+    mov ebx, esi
+    mov ecx, buf
+    mov edx, 63
+    call read
+    mov edi, eax            ; bytes read
+    mov ebx, esi
+    call close
+
+    ; echo the tainted bytes to the console
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, edi
+    call write
+
+    mov ebx, 0
+    call exit
+
+.data
+payload: .asciz "telemetry-demo-payload"
+path:    .asciz "/tmp/demo.txt"
+buf:     .space 64

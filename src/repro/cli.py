@@ -21,11 +21,18 @@ Usage (also via ``python -m repro``)::
 
     # replay one fault schedule bit-for-bit from a RunReport seed
     python -m repro chaos --table 8 --workload pma --seed 42 --show-faults
+
+    # live overhead breakdown (the paper's section 8/9 study, one run)
+    python -m repro profile trojan.s
+
+    # Perfetto-loadable trace + metrics dump of any run
+    python -m repro run trojan.s --trace trace.json --metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -37,6 +44,7 @@ from repro.core.report import RunReport
 from repro.harrier.config import HarrierConfig
 from repro.isa.assembler import AssemblyError, assemble
 from repro.kernel.network import ConversationPeer, SinkPeer
+from repro.telemetry import Telemetry
 
 
 def _load_image(source_path: str, guest_path: Optional[str]):
@@ -96,6 +104,35 @@ def _print_report(report: RunReport, show_events: bool) -> None:
             print(event)
 
 
+def _build_telemetry(
+    args: argparse.Namespace, profile: bool = False
+) -> Optional[Telemetry]:
+    """An enabled hub when the command asked for observability output."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", False)
+    if not (trace or metrics or profile):
+        return None
+    return Telemetry.enabled(trace=bool(trace), profile=profile)
+
+
+def _emit_telemetry(
+    telemetry: Optional[Telemetry], args: argparse.Namespace
+) -> None:
+    """Write the trace file / print the metrics dump, as requested."""
+    if telemetry is None:
+        return
+    if getattr(args, "metrics", False):
+        print("\n--- telemetry metrics ---")
+        print(telemetry.metrics.render())
+    trace = getattr(args, "trace", None)
+    if trace:
+        telemetry.tracer.write(trace)
+        print(
+            f"wrote {trace} "
+            f"({len(telemetry.tracer.finished())} spans)"
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     image = _load_image(args.source, args.path)
     config = HarrierConfig(
@@ -103,7 +140,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         track_bb_frequency=not args.no_bbfreq,
         complete_dataflow=not args.incomplete_dataflow,
     )
-    hth = HTH(harrier_config=config)
+    telemetry = _build_telemetry(args)
+    hth = HTH(harrier_config=config, telemetry=telemetry)
     _apply_run_setup(hth, args)
     report = hth.run(
         image,
@@ -112,6 +150,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
     )
     _print_report(report, args.events)
+    _emit_telemetry(telemetry, args)
     if args.fail_on and report.max_severity is not None:
         threshold = {"low": 1, "medium": 2, "high": 3}[args.fail_on]
         if int(report.max_severity) >= threshold:
@@ -150,10 +189,13 @@ def cmd_table(args: argparse.Namespace) -> int:
     module_name, factory_name = _TABLE_BENCHES[args.number]
     module = importlib.import_module(module_name)
     workloads = getattr(module, factory_name)()
+    telemetry = _build_telemetry(args)
     width = max(len(w.name) for w in workloads)
     failures = 0
     for workload in workloads:
-        report = workload.run()
+        if telemetry is not None and telemetry.tracer is not None:
+            telemetry.tracer.begin_track(workload.name)
+        report = workload.run(telemetry=telemetry)
         ok = workload.classified_correctly(report)
         failures += not ok
         rules = ",".join(sorted({w.rule for w in report.warnings})) or "-"
@@ -161,6 +203,7 @@ def cmd_table(args: argparse.Namespace) -> int:
         print(f"{workload.name:{width}s}  {report.verdict.value:7s} "
               f"(expected {workload.expected_verdict.value:7s})  "
               f"{mark}  {rules}")
+    _emit_telemetry(telemetry, args)
     return 1 if failures else 0
 
 
@@ -206,6 +249,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     profile = _chaos_profile(args)
     workloads = _chaos_workloads(args)
+    telemetry = _build_telemetry(args)
     if args.seed is not None:
         seeds = [args.seed]
     else:
@@ -218,8 +262,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     width = max(len(w.name) for w in workloads)
     failures = 0
     for workload in workloads:
+        if telemetry is not None and telemetry.tracer is not None:
+            telemetry.tracer.begin_track(workload.name)
         result = run_chaos(
-            workload, seeds, profile, wall_timeout=args.wall_timeout
+            workload,
+            seeds,
+            profile,
+            wall_timeout=args.wall_timeout,
+            telemetry=telemetry,
         )
         verdicts = ",".join(sorted({v.value for v in result.verdicts}))
         if assert_verdicts:
@@ -243,7 +293,38 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                       f"rules={','.join(trial.rules) or '-'}")
                 for fault in trial.faults:
                     print(f"    {fault}")
+    _emit_telemetry(telemetry, args)
     return 1 if failures else 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """The paper's §8/§9 overhead breakdown, live, from one run."""
+    image = _load_image(args.source, args.path)
+    telemetry = Telemetry.enabled(
+        trace=bool(getattr(args, "trace", None)), profile=True
+    )
+    hth = HTH(telemetry=telemetry)
+    _apply_run_setup(hth, args)
+    report = hth.run(
+        image,
+        argv=[image.name] + list(args.arg or ()),
+        stdin=args.stdin,
+        max_ticks=args.max_ticks,
+    )
+    print(report.summary_line())
+    print()
+    print(telemetry.profiler.render(
+        title=f"Overhead profile: {image.name}"
+    ))
+    registry = telemetry.metrics
+    print()
+    print(f"instructions retired : {registry.total('cpu_instructions_total'):,.0f}")
+    print(f"syscalls serviced    : {registry.total('kernel_syscalls_total'):,.0f}")
+    print(f"harrier events       : {registry.total('harrier_events_emitted_total'):,.0f}")
+    print(f"secpert facts        : {registry.total('secpert_facts_asserted_total'):,.0f}")
+    print(f"secpert rule firings : {registry.total('secpert_rule_firings_total'):,.0f}")
+    _emit_telemetry(telemetry, args)
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -256,6 +337,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         "Generated by `python -m repro report`.",
         "",
     ]
+    rows = []
     failures = 0
     for key in ("4", "5", "6", "7", "8", "macro", "ext", "scenarios"):
         module_name, factory_name = _TABLE_BENCHES[key]
@@ -270,20 +352,49 @@ def cmd_report(args: argparse.Namespace) -> int:
             report = workload.run()
             ok = workload.classified_correctly(report)
             failures += not ok
-            rules = ", ".join(
-                sorted({w.rule for w in report.warnings})
-            ) or "—"
+            fired = sorted({w.rule for w in report.warnings})
+            rules = ", ".join(fired) or "—"
             lines.append(
                 f"| {workload.name} | {workload.expected_verdict.value} "
                 f"| {report.verdict.value} | {rules} "
                 f"| {'yes' if ok else 'NO'} |"
             )
+            rows.append({
+                "table": key,
+                "benchmark": workload.name,
+                "expected": workload.expected_verdict.value,
+                "measured": report.verdict.value,
+                "rules": fired,
+                "match": ok,
+                "degraded": report.degraded,
+            })
         lines.append("")
     text = "\n".join(lines) + "\n"
     out_path = pathlib.Path(args.output)
-    out_path.write_text(text.replace("\n", chr(10)))
-    print(f"wrote {out_path} ({failures} mismatches)")
+    out_path.write_text(text)
+    json_path = out_path.with_suffix(".json")
+    json_path.write_text(json.dumps(
+        {
+            "generated_by": "python -m repro report",
+            "mismatches": failures,
+            "rows": rows,
+        },
+        indent=2,
+    ) + "\n")
+    print(f"wrote {out_path} and {json_path} ({failures} mismatches)")
     return 1 if failures else 0
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a span trace (Chrome trace-event JSON; *.jsonl for "
+             "one span per line)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry metrics registry after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -317,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-ticks", type=int, default=5_000_000)
     run.add_argument("--fail-on", choices=("low", "medium", "high"),
                      help="exit nonzero when warnings reach this severity")
+    _add_telemetry_options(run)
     run.set_defaults(func=cmd_run)
 
     audit = sub.add_parser(
@@ -337,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
         "table", help="reproduce one of the paper's evaluation tables"
     )
     table.add_argument("number", choices=sorted(_TABLE_BENCHES))
+    _add_telemetry_options(table)
     table.set_defaults(func=cmd_table)
 
     chaos = sub.add_parser(
@@ -375,7 +488,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-run watchdog in real seconds")
     chaos.add_argument("--show-faults", action="store_true",
                        help="dump every injected fault per trial")
+    _add_telemetry_options(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    profile = sub.add_parser(
+        "profile",
+        help="live overhead breakdown (paper sections 8-9) for one run",
+    )
+    profile.add_argument("source", help="guest assembly file (.s)")
+    profile.add_argument("--path", help="guest path identity")
+    profile.add_argument("--arg", action="append", help="argv entry")
+    profile.add_argument("--stdin", help="scripted user input")
+    profile.add_argument("--file", action="append", metavar="PATH=CONTENT",
+                         help="seed a file in the simulated fs (repeat)")
+    profile.add_argument("--peer", action="append", metavar="HOST:PORT",
+                         help="register a data-sink peer (repeat)")
+    profile.add_argument("--serve", action="append",
+                         metavar="HOST:PORT=DATA",
+                         help="register a peer that pushes DATA on connect")
+    profile.add_argument("--max-ticks", type=int, default=5_000_000)
+    _add_telemetry_options(profile)
+    profile.set_defaults(func=cmd_profile)
 
     report = sub.add_parser(
         "report", help="run every table and write a consolidated report"

@@ -31,6 +31,7 @@ from repro.kernel.network import Network
 from repro.programs.libc import libc_image
 from repro.secpert.policy import PolicyConfig
 from repro.secpert.secpert import Secpert
+from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faultinject.injector import FaultInjector
@@ -89,8 +90,12 @@ class HTH:
         install_stubs: bool = True,
         analyzer=None,
         fault_injector: Optional["FaultInjector"] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.policy = policy or PolicyConfig()
+        self.telemetry = telemetry if telemetry is not None else (
+            Telemetry.disabled()
+        )
         #: The analysis side: Secpert by default, or any EventAnalyzer
         #: exposing a ``warnings`` list (e.g. the cross-session or
         #: multi-program wrappers).
@@ -109,9 +114,16 @@ class HTH:
         hooks = self.harrier if monitored else None
         self.fault_injector = fault_injector
         self.kernel = Kernel(
-            hooks=hooks, libraries=libs, fault_injector=fault_injector
+            hooks=hooks,
+            libraries=libs,
+            fault_injector=fault_injector,
+            telemetry=self.telemetry,
         )
         self.harrier.bind(self.kernel)
+        self.harrier.attach_telemetry(self.telemetry)
+        attach = getattr(self.analyzer, "attach_telemetry", None)
+        if attach is not None:
+            attach(self.telemetry)
         if install_stubs:
             for path in STANDARD_BINARIES:
                 self.kernel.register_binary(stub_binary(path))
@@ -153,6 +165,8 @@ class HTH:
         result = self.kernel.run(
             max_ticks=max_ticks, wall_timeout=wall_timeout
         )
+        if self.telemetry.is_enabled:
+            self.harrier.sample_state_gauges()
         injector = self.kernel.fault_injector
         return RunReport(
             program=proc.command,
@@ -173,6 +187,11 @@ class HTH:
             quarantined_rules=list(
                 getattr(self.analyzer, "quarantined_rules", [])
             ),
+            telemetry=(
+                self.telemetry.snapshot()
+                if self.telemetry.is_enabled
+                else None
+            ),
         )
 
 
@@ -188,6 +207,7 @@ def run_monitored(
     max_ticks: int = 5_000_000,
     fault_injector: Optional["FaultInjector"] = None,
     wall_timeout: Optional[float] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunReport:
     """One-shot convenience: build an HTH machine, run, report.
 
@@ -198,6 +218,7 @@ def run_monitored(
         harrier_config=harrier_config,
         decision=decision,
         fault_injector=fault_injector,
+        telemetry=telemetry,
     )
     if setup is not None:
         setup(hth)

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.harrier.events import SecurityEvent
 from repro.kernel.kernel import RunResult
 from repro.secpert.warnings import SecurityWarning, Severity
+from repro.telemetry import TelemetrySnapshot
 
 
 class Verdict(enum.Enum):
@@ -60,6 +62,9 @@ class RunReport:
     monitor_faults: List[object] = field(default_factory=list)
     #: Secpert rules quarantined after raising during this run.
     quarantined_rules: List[str] = field(default_factory=list)
+    #: Telemetry snapshot (metrics/profile/span count) when the run was
+    #: made with an enabled hub; ``None`` for the zero-overhead default.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def max_severity(self) -> Optional[Severity]:
@@ -95,6 +100,52 @@ class RunReport:
             or self.quarantined_rules
             or self.events_dropped
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole report as JSON-ready primitives (machine-readable
+        twin of the markdown report; ``repro report`` writes both)."""
+        return {
+            "program": self.program,
+            "argv": list(self.argv),
+            "verdict": self.verdict.value,
+            "flagged": self.flagged,
+            "exit_code": self.exit_code,
+            "killed_by_monitor": self.killed_by_monitor,
+            "result": {
+                "reason": self.result.reason,
+                "ticks": self.result.ticks,
+                "instructions": self.result.instructions,
+                "exit_codes": dict(self.result.exit_codes),
+            },
+            "warnings": [
+                {
+                    "rule": w.rule,
+                    "severity": w.severity.label(),
+                    "headline": w.headline,
+                    "pid": w.pid,
+                    "time": w.time,
+                }
+                for w in self.warnings
+            ],
+            "warning_counts": self.warning_counts(),
+            "event_count": len(self.events),
+            "events_dropped": self.events_dropped,
+            "faults": [list(f) for f in self.faults],
+            "fault_seed": self.fault_seed,
+            "injected_fault_count": len(self.injected_faults),
+            "monitor_faults": [str(f) for f in self.monitor_faults],
+            "quarantined_rules": list(self.quarantined_rules),
+            "degraded": self.degraded,
+            "console_output": self.console_output,
+            "telemetry": (
+                self.telemetry.to_dict()
+                if self.telemetry is not None
+                else None
+            ),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
 
     def summary_line(self) -> str:
         counts = self.warning_counts()

@@ -15,6 +15,7 @@ and :class:`FiredRule` is exactly that record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.expert.conditions import ConditionalElement, match_lhs
@@ -110,6 +111,10 @@ class InferenceEngine:
         #: event; the quarantine survives reset() because the defect is
         #: in the rule, not the working memory.
         self.quarantined: Dict[str, str] = {}
+        #: Optional telemetry registry (repro.telemetry.MetricsRegistry).
+        #: When set, the engine records facts asserted, per-rule firing
+        #: counts, and per-rule action latency.
+        self.metrics = None
 
     # -- definitions ---------------------------------------------------------
     def define_template(self, template: Template) -> Template:
@@ -135,6 +140,8 @@ class InferenceEngine:
         self._recency += 1
         fact.recency = self._recency
         self._facts[fact.fact_id] = fact
+        if self.metrics is not None:
+            self.metrics.counter("secpert_facts_asserted_total").inc()
         return fact
 
     def retract(self, fact: Fact) -> None:
@@ -194,12 +201,22 @@ class InferenceEngine:
                 )
             )
             context = RuleContext(self, activation.bindings, activation.facts)
+            action_start = perf_counter() if self.metrics is not None else 0.0
             try:
                 activation.rule.action(context)
             except Exception as exc:  # noqa: BLE001 - rule containment
                 self.quarantined[activation.rule.name] = (
                     f"{type(exc).__name__}: {exc}"
                 )
+            finally:
+                if self.metrics is not None:
+                    name = activation.rule.name
+                    self.metrics.counter(
+                        "secpert_rule_firings_total", rule=name
+                    ).inc()
+                    self.metrics.histogram(
+                        "secpert_rule_latency_seconds", rule=name
+                    ).observe(perf_counter() - action_start)
             fired += 1
         else:
             raise EngineError(f"run() exceeded fire limit ({limit})")

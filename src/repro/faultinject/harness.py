@@ -88,11 +88,14 @@ def run_one(
     seed: int,
     profile: FaultProfile = TRANSPARENT_PROFILE,
     wall_timeout: Optional[float] = DEFAULT_WALL_TIMEOUT,
+    telemetry=None,
 ) -> RunReport:
     """One chaos-perturbed run of ``workload`` (fresh machine+injector)."""
     injector = FaultInjector(profile=profile, seed=seed)
     return workload.run(
-        fault_injector=injector, wall_timeout=wall_timeout
+        fault_injector=injector,
+        wall_timeout=wall_timeout,
+        telemetry=telemetry,
     )
 
 
@@ -101,6 +104,7 @@ def run_chaos(
     seeds: Sequence[int],
     profile: FaultProfile = TRANSPARENT_PROFILE,
     wall_timeout: Optional[float] = DEFAULT_WALL_TIMEOUT,
+    telemetry=None,
 ) -> ChaosResult:
     """Run ``workload`` once per seed; collect stability evidence."""
     result = ChaosResult(
@@ -109,7 +113,9 @@ def run_chaos(
         profile=profile,
     )
     for seed in seeds:
-        report = run_one(workload, seed, profile, wall_timeout)
+        report = run_one(
+            workload, seed, profile, wall_timeout, telemetry=telemetry
+        )
         result.trials.append(
             ChaosTrial(
                 seed=seed,

@@ -15,8 +15,10 @@ through the :class:`KernelHooks` interface and
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.harrier.analyzer import (
     DecisionPolicy,
@@ -36,6 +38,15 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.loader import LoadedImage
 from repro.kernel.process import Process
 from repro.taint.tags import DataSource, TagSet
+from repro.telemetry import (
+    CATEGORY_ANALYSIS,
+    STAGE_ANALYSIS,
+    STAGE_BBFREQ,
+    STAGE_DATAFLOW,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 _SHADOW_KEY = "harrier.shadow"
 
@@ -81,15 +92,29 @@ class Harrier(KernelHooks):
         )
         self.kernel: Optional[Kernel] = None
         #: Every event emitted, in order (when keep_event_log is set).
-        #: Bounded by config.max_event_log: the oldest entries are dropped
-        #: first and every drop is counted in ``events_dropped``.
-        self.events: List[SecurityEvent] = []
+        #: Bounded by config.max_event_log: a deque(maxlen=cap) evicts the
+        #: oldest entry in O(1) and every drop is counted in
+        #: ``events_dropped``.
+        self._events: Deque[SecurityEvent] = deque(
+            maxlen=self.config.max_event_log
+        )
         #: Events discarded because the bounded log was full.
         self.events_dropped: int = 0
         #: (event, warning) pairs where the decision policy said "kill".
         self.kills: List[Tuple[SecurityEvent, object]] = []
         #: Contained analysis failures (see :class:`MonitorFault`).
         self.monitor_faults: List[MonitorFault] = []
+        # Telemetry wiring (attach_telemetry); None keeps hot paths free.
+        self._metrics = None
+        self._tracer = None
+        self._profiler = None
+        self._c_emitted = None
+        self._c_dropped = None
+
+    @property
+    def events(self) -> List[SecurityEvent]:
+        """The (possibly capped) event log, oldest first."""
+        return list(self._events)
 
     # -- wiring -------------------------------------------------------------
     def bind(self, kernel: Kernel) -> "Harrier":
@@ -97,11 +122,24 @@ class Harrier(KernelHooks):
         self.kernel = kernel
         return self
 
+    def attach_telemetry(self, telemetry: "Telemetry") -> "Harrier":
+        """Wire the observability hub (see :mod:`repro.telemetry`)."""
+        self._tracer = telemetry.tracer
+        self._profiler = telemetry.profiler
+        if telemetry.is_enabled:
+            m = telemetry.metrics
+            self._metrics = m
+            self._c_emitted = m.counter("harrier_events_emitted_total")
+            self._c_dropped = m.counter("harrier_events_dropped_total")
+        else:
+            self._metrics = None
+        return self
+
     def shadow(self, proc: Process) -> ProcessShadow:
+        """The per-process monitor state (one dict probe on the hot path)."""
         shadow = proc.meta.get(_SHADOW_KEY)
         if shadow is None:
-            shadow = ProcessShadow()
-            proc.meta[_SHADOW_KEY] = shadow
+            shadow = proc.meta[_SHADOW_KEY] = ProcessShadow()
         return shadow
 
     @property
@@ -141,15 +179,28 @@ class Harrier(KernelHooks):
 
     # -- per-instruction events (section 7.3.1 / 7.4 / 7.2) --------------------
     def on_instruction(self, proc: Process, step: StepResult) -> None:
-        shadow = proc.meta.get(_SHADOW_KEY)
-        if shadow is None:
-            shadow = self.shadow(proc)
+        shadow = self.shadow(proc)
+        if self._profiler is None:
+            if self.config.track_dataflow:
+                self.dataflow.apply(shadow, step)
+                if self.config.short_circuit_routines:
+                    self.routines.on_step(proc, shadow, step)
+            if self.config.track_bb_frequency:
+                self.bbfreq.observe(shadow, step.pc)
+            return
+        # Profiled path: attribute each component's wall time to its §8
+        # stage.  Kept separate so the unprofiled path pays one None check.
+        prof = self._profiler
         if self.config.track_dataflow:
+            t0 = perf_counter()
             self.dataflow.apply(shadow, step)
             if self.config.short_circuit_routines:
                 self.routines.on_step(proc, shadow, step)
+            prof.add(STAGE_DATAFLOW, perf_counter() - t0)
         if self.config.track_bb_frequency:
+            t0 = perf_counter()
             self.bbfreq.observe(shadow, step.pc)
+            prof.add(STAGE_BBFREQ, perf_counter() - t0)
 
     # -- syscall events (section 7.1) -----------------------------------------
     def on_syscall_pre(
@@ -190,13 +241,36 @@ class Harrier(KernelHooks):
         are contained (see :class:`MonitorFault`): a crashing rule must
         not take down the monitored run.
         """
+        tracer = self._tracer
+        prof = self._profiler
         for event in events:
             self._log_event(event)
+            span = None
+            if tracer is not None:
+                span = tracer.start(
+                    f"analyze {getattr(event, 'call_name', event)}",
+                    CATEGORY_ANALYSIS,
+                    self._now,
+                    parent=(
+                        self.kernel.current_syscall_span
+                        if self.kernel is not None else None
+                    ),
+                    tid=getattr(event, "pid", 0),
+                )
+            t0 = perf_counter() if prof is not None else 0.0
             try:
                 warnings = self.analyzer.analyze(event)
             except Exception as exc:  # noqa: BLE001 - containment boundary
                 self._contain(event, exc, stage="analyze")
+                if prof is not None:
+                    prof.add(STAGE_ANALYSIS, perf_counter() - t0)
+                if span is not None:
+                    tracer.end(span, self._now, fault=True)
                 continue
+            if prof is not None:
+                prof.add(STAGE_ANALYSIS, perf_counter() - t0)
+            if span is not None:
+                tracer.end(span, self._now, warnings=len(warnings))
             for warning in warnings:
                 try:
                     proceed = self.decision(warning)
@@ -205,21 +279,24 @@ class Harrier(KernelHooks):
                     proceed = True
                 if not proceed:
                     self.kills.append((event, warning))
+                    if self._metrics is not None:
+                        self._metrics.counter("harrier_kills_total").inc()
                     return False
         return True
 
     def _log_event(self, event: SecurityEvent) -> None:
+        if self._c_emitted is not None:
+            self._c_emitted.inc()
         if not self.config.keep_event_log:
             return
-        cap = self.config.max_event_log
-        if cap is not None:
-            if cap <= 0:
-                self.events_dropped += 1
-                return
-            if len(self.events) >= cap:
-                del self.events[0]
-                self.events_dropped += 1
-        self.events.append(event)
+        log = self._events
+        if log.maxlen is not None and len(log) >= log.maxlen:
+            # append below evicts the oldest entry (or is a no-op when
+            # maxlen == 0); either way one event is lost.
+            self.events_dropped += 1
+            if self._c_dropped is not None:
+                self._c_dropped.inc()
+        log.append(event)
 
     def _contain(self, event: SecurityEvent, exc: Exception,
                  stage: str) -> None:
@@ -232,6 +309,43 @@ class Harrier(KernelHooks):
                 event=event,
             )
         )
+        if self._metrics is not None:
+            self._metrics.counter(
+                "harrier_monitor_faults_total", stage=stage
+            ).inc()
+
+    # -- end-of-run state sampling ------------------------------------------
+    def sample_state_gauges(self) -> None:
+        """Record the monitor's state footprint as gauges.
+
+        Called once per run (cheap relative to the run itself): tainted
+        shadow cells, live taint-set cardinality, and application
+        basic-block totals across every process the kernel still knows.
+        """
+        m = self._metrics
+        if m is None or self.kernel is None:
+            return
+        tainted_cells = 0
+        tag_sets = set()
+        max_cardinality = 0
+        bb_executions = 0
+        app_blocks = 0
+        for proc in self.kernel.procs.values():
+            shadow = proc.meta.get(_SHADOW_KEY)
+            if shadow is None:
+                continue
+            tainted_cells += len(shadow.memory)
+            for _, tags in shadow.memory.live_cells():
+                tag_sets.add(tags)
+                if len(tags) > max_cardinality:
+                    max_cardinality = len(tags)
+            bb_executions += sum(shadow.bb_counts.values())
+            app_blocks += len(shadow.bb_counts)
+        m.gauge("harrier_tainted_memory_cells").set(tainted_cells)
+        m.gauge("harrier_taint_sets_live").set(len(tag_sets))
+        m.gauge("harrier_taint_set_max_cardinality").set(max_cardinality)
+        m.gauge("harrier_bb_executions").set(bb_executions)
+        m.gauge("harrier_app_basic_blocks").set(app_blocks)
 
     # -- process lifecycle -------------------------------------------------------
     def on_fork(self, parent: Process, child: Process) -> None:

@@ -34,10 +34,20 @@ from repro.kernel.process import (
     ProcessState,
     ResourceKind,
 )
-from repro.kernel.syscalls import NO_RESULT, SyscallTable
+from repro.kernel.syscalls import NO_RESULT, SYS_RESOLVE, SyscallTable
+from repro.telemetry import (
+    CATEGORY_PROCESS,
+    CATEGORY_RUN,
+    CATEGORY_SYSCALL,
+    Telemetry,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faultinject.injector import FaultInjector
+    from repro.telemetry.spans import Span
+
+#: Process.meta key holding the process's open telemetry span.
+_PROC_SPAN_KEY = "telemetry.span"
 
 #: Exit codes for abnormal termination.
 EXIT_KILLED_BY_MONITOR = 137   # 128 + SIGKILL
@@ -74,10 +84,36 @@ class Kernel:
         libraries: Sequence[Image] = (),
         quantum: int = 200,
         fault_injector: Optional["FaultInjector"] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.hooks = hooks or NullHooks()
         #: Optional deterministic chaos source (see repro.faultinject).
         self.fault_injector = fault_injector
+        #: Observability hub (see repro.telemetry).  A disabled hub wires
+        #: the NullSink, so the guards below stay on the cheap path.
+        self.telemetry = telemetry if telemetry is not None else (
+            Telemetry.disabled()
+        )
+        self.tracer = self.telemetry.tracer
+        self.profiler = self.telemetry.profiler
+        #: The syscall span currently being serviced (analysis spans from
+        #: Harrier attach themselves under it).
+        self.current_syscall_span: Optional["Span"] = None
+        if self.telemetry.is_enabled:
+            m = self.telemetry.metrics
+            self._metrics = m
+            self._c_instructions = m.counter("cpu_instructions_total")
+            self._c_quanta = m.counter("cpu_quanta_total")
+            self._h_quantum = m.histogram("cpu_ticks_per_quantum")
+            self._c_cpu_faults = m.counter("cpu_faults_total")
+            self._c_fs = m.counter("kernel_fs_ops_total")
+            self._c_net = m.counter("kernel_net_ops_total")
+            self._c_injected = m.counter("kernel_faults_injected_total")
+            self._c_spawned = m.counter("kernel_processes_spawned_total")
+            self._c_exited = m.counter("kernel_process_exits_total")
+            self._syscall_counters: Dict[int, object] = {}
+        else:
+            self._metrics = None
         self.fs = FileSystem()
         self.network = Network()
         self.console = Console()
@@ -147,7 +183,20 @@ class Kernel:
         self.procs[proc.pid] = proc
         self._announce_load(proc, load)
         self.hooks.on_process_start(proc)
+        self._telemetry_process_start(proc)
         return proc
+
+    def _telemetry_process_start(self, proc: Process) -> None:
+        if self._metrics is not None:
+            self._c_spawned.inc()
+        if self.tracer is not None:
+            proc.meta[_PROC_SPAN_KEY] = self.tracer.start(
+                f"pid{proc.pid} {proc.command}",
+                CATEGORY_PROCESS,
+                self.now,
+                tid=proc.pid,
+                command=proc.command,
+            )
 
     def _install_stdio(self, proc: Process) -> None:
         proc.install_fd(
@@ -193,6 +242,7 @@ class Kernel:
         self.procs[child.pid] = child
         self.hooks.on_fork(parent, child)
         self.hooks.on_process_start(child)
+        self._telemetry_process_start(child)
         return child
 
     def exec_process(
@@ -239,6 +289,12 @@ class Kernel:
             if open_file is not None:
                 self.release_open_file(open_file)
         self.hooks.on_process_exit(proc, code)
+        if self._metrics is not None:
+            self._c_exited.inc()
+        if self.tracer is not None:
+            span = proc.meta.pop(_PROC_SPAN_KEY, None)
+            if span is not None:
+                self.tracer.end(span, self.now, exit_code=code)
 
     def kill(self, proc: Process, code: int, by_monitor: bool = False) -> None:
         if by_monitor:
@@ -277,6 +333,36 @@ class Kernel:
         the caller.  Checked once per scheduler pass, so the overshoot is
         at most one quantum per runnable process.
         """
+        if self.tracer is None and self.profiler is None:
+            return self._run_loop(max_ticks, wall_timeout)
+        run_span = (
+            self.tracer.start("kernel.run", CATEGORY_RUN, self.now)
+            if self.tracer is not None else None
+        )
+        wall_start = _time.perf_counter()
+        try:
+            result = self._run_loop(max_ticks, wall_timeout)
+        finally:
+            if self.profiler is not None:
+                self.profiler.add_run(_time.perf_counter() - wall_start)
+            if self.tracer is not None:
+                # Close any process spans the run left open (max-ticks,
+                # deadlock) so they export; then the run span itself.
+                for proc in self.procs.values():
+                    span = proc.meta.pop(_PROC_SPAN_KEY, None)
+                    if span is not None:
+                        self.tracer.end(span, self.now, still_running=True)
+                if run_span is not None:
+                    self.tracer.end(
+                        run_span, self.now, instructions=self.instructions
+                    )
+        return result
+
+    def _run_loop(
+        self,
+        max_ticks: int,
+        wall_timeout: Optional[float],
+    ) -> RunResult:
         deadline = self.now + max_ticks
         wall_deadline = (
             _time.monotonic() + wall_timeout
@@ -344,6 +430,20 @@ class Kernel:
         return True
 
     def _run_quantum(self, proc: Process, deadline: int) -> None:
+        if self._metrics is None:
+            self._exec_quantum(proc, deadline)
+            return
+        start = self.instructions
+        try:
+            self._exec_quantum(proc, deadline)
+        finally:
+            executed = self.instructions - start
+            self._c_quanta.inc()
+            if executed:
+                self._c_instructions.inc(executed)
+                self._h_quantum.observe(executed)
+
+    def _exec_quantum(self, proc: Process, deadline: int) -> None:
         quantum = self.quantum
         if self.fault_injector is not None:
             quantum = self.fault_injector.quantum(quantum)
@@ -354,6 +454,8 @@ class Kernel:
                 step = proc.cpu.step()
             except CpuFault as fault:
                 self._fault_log.append((proc.pid, str(fault)))
+                if self._metrics is not None:
+                    self._c_cpu_faults.inc()
                 self.exit_process(proc, EXIT_FAULT)
                 return
             self.now += 1
@@ -372,11 +474,40 @@ class Kernel:
         sysno = regs.get("eax")
         args = tuple(regs.get(r) for r in SYSCALL_ARG_REGISTERS)
         info = self.syscalls.describe(proc, sysno, args)
-        allowed = self.hooks.on_syscall_pre(proc, sysno, args, info)
-        if not allowed:
-            self.kill(proc, EXIT_KILLED_BY_MONITOR, by_monitor=True)
-            return
-        self._attempt_syscall(proc, sysno, args, info)
+        name = str(info.get("name", sysno))
+        if self._metrics is not None:
+            counter = self._syscall_counters.get(sysno)
+            if counter is None:
+                counter = self._metrics.counter(
+                    "kernel_syscalls_total", name=name
+                )
+                self._syscall_counters[sysno] = counter
+            counter.inc()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start(
+                name,
+                CATEGORY_SYSCALL,
+                self.now,
+                parent=proc.meta.get(_PROC_SPAN_KEY),
+                tid=proc.pid,
+                sysno=sysno,
+            )
+            self.current_syscall_span = span
+        try:
+            allowed = self.hooks.on_syscall_pre(proc, sysno, args, info)
+            if not allowed:
+                self.kill(proc, EXIT_KILLED_BY_MONITOR, by_monitor=True)
+                if span is not None:
+                    self.tracer.end(span, self.now, vetoed=True)
+                return
+            self._attempt_syscall(proc, sysno, args, info)
+        finally:
+            if span is not None:
+                self.current_syscall_span = None
+                if not span.finished:
+                    blocked = proc.state is ProcessState.BLOCKED
+                    self.tracer.end(span, self.now, blocked=blocked)
 
     def _attempt_syscall(
         self,
@@ -385,6 +516,11 @@ class Kernel:
         args: Tuple[int, int, int, int, int],
         info: Dict[str, object],
     ) -> None:
+        if self._metrics is not None:
+            if "path" in info:
+                self._c_fs.inc()
+            if "socketcall" in info or sysno == SYS_RESOLVE:
+                self._c_net.inc()
         try:
             injected = None
             if self.fault_injector is not None:
@@ -395,6 +531,8 @@ class Kernel:
                 # The monitor saw the attempt (pre-event already fired);
                 # the injected errno replaces the handler's execution.
                 result, extra = injected, {"injected_fault": True}
+                if self._metrics is not None:
+                    self._c_injected.inc()
             else:
                 result, extra = self.syscalls.dispatch(proc, sysno, args)
         except WouldBlock as block:
@@ -419,4 +557,25 @@ class Kernel:
             info = proc.meta.get("pending_info", {})
             # Optimistically mark runnable; _attempt re-blocks on WouldBlock.
             proc.state = ProcessState.RUNNABLE
-            self._attempt_syscall(proc, pending.sysno, pending.args, info)
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.start(
+                    str(info.get("name", pending.sysno)),
+                    CATEGORY_SYSCALL,
+                    self.now,
+                    parent=proc.meta.get(_PROC_SPAN_KEY),
+                    tid=proc.pid,
+                    retry=True,
+                )
+                self.current_syscall_span = span
+            try:
+                self._attempt_syscall(proc, pending.sysno, pending.args, info)
+            finally:
+                if span is not None:
+                    self.current_syscall_span = None
+                    if not span.finished:
+                        self.tracer.end(
+                            span,
+                            self.now,
+                            blocked=proc.state is ProcessState.BLOCKED,
+                        )

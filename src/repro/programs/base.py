@@ -52,6 +52,7 @@ class Workload:
         policy: Optional[PolicyConfig] = None,
         harrier_config: Optional[HarrierConfig] = None,
         fault_injector=None,
+        telemetry=None,
     ) -> "HTH":  # noqa: F821
         from repro.core.hth import HTH
 
@@ -68,6 +69,7 @@ class Workload:
             harrier_config=harrier_config or self.harrier_config,
             libraries=libraries,
             fault_injector=fault_injector,
+            telemetry=telemetry,
         )
         if self.setup is not None:
             self.setup(hth)
@@ -79,8 +81,11 @@ class Workload:
         harrier_config: Optional[HarrierConfig] = None,
         fault_injector=None,
         wall_timeout: Optional[float] = None,
+        telemetry=None,
     ) -> RunReport:
-        hth = self.build_machine(policy, harrier_config, fault_injector)
+        hth = self.build_machine(
+            policy, harrier_config, fault_injector, telemetry=telemetry
+        )
         return hth.run(
             self.image(),
             argv=self.argv or [self.program_path],

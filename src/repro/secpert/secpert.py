@@ -42,6 +42,11 @@ class Secpert(EventAnalyzer):
         engine.context["policy"] = self.policy
         return engine
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire the engine's metrics hooks to a live registry."""
+        if getattr(telemetry, "is_enabled", False):
+            self.engine.metrics = telemetry.metrics
+
     # -- EventAnalyzer ---------------------------------------------------------
     def analyze(self, event: SecurityEvent) -> Sequence[SecurityWarning]:
         fact = event_to_fact(event)

@@ -1,0 +1,152 @@
+"""repro.telemetry — metrics, span tracing, and the live overhead profiler.
+
+The observability layer for the whole HTH stack.  One :class:`Telemetry`
+hub travels from :class:`repro.core.hth.HTH` into the kernel, Harrier,
+and Secpert; each layer feeds the hub's
+
+* **metrics registry** — counters/gauges/histograms with labels
+  (instructions retired, syscalls by name, Harrier event volumes, taint
+  footprint, Secpert rule firings and latencies — the numbers behind the
+  paper's Tables 1/8 and §9);
+* **span tracer** — a run → process → syscall → analysis span tree with
+  virtual-tick *and* wall timestamps, exportable as JSONL or Chrome
+  trace-event JSON (Perfetto-loadable);
+* **stage profiler** — attributes wall time to native / bbfreq /
+  dataflow / analysis to reproduce the paper's §8/§9 overhead breakdown
+  from a single live run.
+
+Disabled telemetry (the default) wires a :class:`NullSink` registry and
+``None`` tracer/profiler so the monitored hot paths pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullSink,
+)
+from repro.telemetry.profiler import (
+    STAGE_ANALYSIS,
+    STAGE_BBFREQ,
+    STAGE_DATAFLOW,
+    STAGE_NATIVE,
+    STAGES,
+    StageProfiler,
+)
+from repro.telemetry.spans import (
+    CATEGORY_ANALYSIS,
+    CATEGORY_PROCESS,
+    CATEGORY_RUN,
+    CATEGORY_SYSCALL,
+    Span,
+    SpanTracer,
+)
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A JSON-ready picture of one hub at a point in time."""
+
+    enabled: bool
+    metrics: List[Dict[str, object]] = field(default_factory=list)
+    profile: Optional[Dict[str, object]] = None
+    span_count: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "metrics": list(self.metrics),
+            "profile": self.profile,
+            "span_count": self.span_count,
+        }
+
+    def metric(self, name: str, /, **labels: str) -> Optional[float]:
+        """Value of one counter/gauge sample, or None."""
+        wanted = {k: str(v) for k, v in labels.items()}
+        for sample in self.metrics:
+            if sample["name"] == name and sample["labels"] == wanted:
+                return sample.get("value")
+        return None
+
+    def metric_total(self, name: str) -> float:
+        """Sum of a metric's samples across label sets."""
+        return sum(
+            float(s.get("value", 0.0) or 0.0)
+            for s in self.metrics
+            if s["name"] == name
+        )
+
+
+class Telemetry:
+    """The hub: one registry + optional tracer + optional profiler.
+
+    Build with :meth:`enabled` to measure, :meth:`disabled` (the default
+    everywhere) for the zero-overhead null wiring.
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        tracer: Optional[SpanTracer] = None,
+        profiler: Optional[StageProfiler] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else NullSink()
+        self.tracer = tracer
+        self.profiler = profiler
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(metrics=NullSink())
+
+    @classmethod
+    def enabled(
+        cls, trace: bool = False, profile: bool = False
+    ) -> "Telemetry":
+        return cls(
+            metrics=MetricsRegistry(),
+            tracer=SpanTracer() if trace else None,
+            profiler=StageProfiler() if profile else None,
+        )
+
+    @property
+    def is_enabled(self) -> bool:
+        return bool(getattr(self.metrics, "enabled", False))
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            enabled=self.is_enabled,
+            metrics=self.metrics.samples(),
+            profile=(
+                self.profiler.to_dict() if self.profiler is not None else None
+            ),
+            span_count=len(self.tracer) if self.tracer is not None else 0,
+        )
+
+
+__all__ = [
+    "Telemetry",
+    "TelemetrySnapshot",
+    "MetricsRegistry",
+    "NullSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanTracer",
+    "Span",
+    "StageProfiler",
+    "STAGES",
+    "STAGE_NATIVE",
+    "STAGE_BBFREQ",
+    "STAGE_DATAFLOW",
+    "STAGE_ANALYSIS",
+    "CATEGORY_RUN",
+    "CATEGORY_PROCESS",
+    "CATEGORY_SYSCALL",
+    "CATEGORY_ANALYSIS",
+]

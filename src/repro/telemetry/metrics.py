@@ -1,0 +1,267 @@
+"""Metrics: counters, gauges, and histograms with labels.
+
+The registry is the always-on half of the telemetry layer (the paper's
+evaluation is built on exactly these numbers: Table 1's instruction /
+syscall / basic-block counts, §8's per-feature event volumes, §9's
+overhead study).  Instruments are get-or-create and the returned handles
+are stable, so hot paths resolve an instrument once and call ``inc()`` /
+``observe()`` on the cached handle.
+
+When telemetry is disabled the stack is wired to :class:`NullSink`, whose
+instruments are shared no-op singletons — the disabled path costs one
+attribute load and a no-op call at worst, and most call sites skip even
+that by caching ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (sampled state)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max + buckets).
+
+    Bucket bounds default to a latency-friendly exponential ladder in
+    seconds; pass explicit ``buckets`` for count-like distributions.
+    """
+
+    name: str
+    labels: LabelKey = ()
+    buckets: Tuple[float, ...] = (
+        1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0
+    )
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    bucket_counts: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            # one overflow bucket past the last bound
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store.
+
+    ``counter("kernel_syscalls_total", name="SYS_open")`` returns the same
+    :class:`Counter` object on every call with the same name+labels.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, LabelKey], object] = {}
+
+    def _get(self, kind: str, name: str, labels: Dict[str, str], factory):
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name=name, labels=key[2])
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(self, name: str, /, **labels: str) -> Histogram:
+        return self._get("histogram", name, labels, Histogram)
+
+    # -- reading -----------------------------------------------------------
+    def __iter__(self) -> Iterable[object]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def value(self, name: str, /, **labels: str) -> Optional[float]:
+        """Current value of a counter/gauge, or None if never touched."""
+        key = _label_key(labels)
+        for (kind, mname, mlabels), metric in self._metrics.items():
+            if mname == name and mlabels == key and kind in (
+                "counter", "gauge"
+            ):
+                return metric.value  # type: ignore[union-attr]
+        return None
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets."""
+        acc = 0.0
+        for (kind, mname, _), metric in self._metrics.items():
+            if mname == name and kind in ("counter", "gauge"):
+                acc += metric.value  # type: ignore[union-attr]
+        return acc
+
+    def samples(self) -> List[Dict[str, object]]:
+        """Flat, JSON-ready sample list (the snapshot wire format)."""
+        out: List[Dict[str, object]] = []
+        for (kind, name, labels), metric in sorted(
+            self._metrics.items(), key=lambda kv: kv[0]
+        ):
+            sample: Dict[str, object] = {
+                "name": name,
+                "kind": kind,
+                "labels": dict(labels),
+            }
+            if kind == "histogram":
+                sample.update(
+                    count=metric.count,
+                    sum=metric.total,
+                    min=metric.min,
+                    max=metric.max,
+                    mean=metric.mean,
+                )
+            else:
+                sample["value"] = metric.value
+            out.append(sample)
+        return out
+
+    def render(self) -> str:
+        """Human-readable dump (``repro ... --metrics``)."""
+        lines = []
+        for sample in self.samples():
+            labels = sample["labels"]
+            label_txt = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                + "}" if labels else ""
+            )
+            if sample["kind"] == "histogram":
+                lines.append(
+                    f"{sample['name']}{label_txt} "
+                    f"count={sample['count']} sum={sample['sum']:.6f} "
+                    f"mean={sample['mean']:.6f}"
+                )
+            else:
+                value = sample["value"]
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"{sample['name']}{label_txt} {shown}")
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelKey = ()
+    value = 0.0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullSink:
+    """Zero-overhead registry stand-in used when telemetry is disabled.
+
+    Every lookup returns one shared inert instrument; nothing is stored,
+    nothing is counted, ``samples()`` is always empty.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, /, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, /, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, /, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def value(self, name: str, /, **labels: str) -> Optional[float]:
+        return None
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def samples(self) -> List[Dict[str, object]]:
+        return []
+
+    def render(self) -> str:
+        return "(telemetry disabled)"
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0

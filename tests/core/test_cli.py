@@ -1,5 +1,7 @@
 """CLI tests (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -190,8 +192,98 @@ class TestTableCommand:
         assert "lodeight" in capsys.readouterr().out
 
 
+class TestChaosCommand:
+    def test_seed_replay_is_deterministic(self, capsys):
+        argv = ["chaos", "--table", "8", "--workload", "pma",
+                "--seed", "42", "--show-faults"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "pma" in first
+        assert "stable" in first
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--table", "8", "--workload", "nope"])
+
+
+class TestProfileCommand:
+    def test_breakdown_printed(self, trojan_file, capsys):
+        code = main([
+            "profile", trojan_file, "--file", "/etc/shadow=root:hash",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for stage in ("native", "bbfreq", "dataflow", "analysis"):
+            assert stage in out
+        assert "full monitor" in out
+        assert "instructions retired" in out
+        assert "secpert rule firings" in out
+
+    def test_benign_program_profiles_too(self, hello_file, capsys):
+        assert main(["profile", hello_file]) == 0
+        assert "verdict=benign" in capsys.readouterr().out
+
+
+class TestTraceAndMetricsFlags:
+    def test_run_trace_chrome_schema(self, trojan_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main([
+            "run", trojan_file, "--file", "/etc/shadow=x",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert str(trace) in capsys.readouterr().out
+        data = json.loads(trace.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        events = data["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert set(event) >= {
+                "name", "cat", "ts", "dur", "pid", "tid", "args"
+            }
+        cats = {e["cat"] for e in complete}
+        assert {"run", "process", "syscall", "analysis"} <= cats
+        # the trojan's syscalls all have spans
+        names = [e["name"] for e in complete if e["cat"] == "syscall"]
+        assert names.count("SYS_open") == 2
+        assert "SYS_read" in names and "SYS_write" in names
+
+    def test_run_trace_jsonl(self, hello_file, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", hello_file, "--trace", str(trace)]) == 0
+        spans = [
+            json.loads(line)
+            for line in trace.read_text().strip().splitlines()
+        ]
+        assert spans
+        assert all("span_id" in s and "category" in s for s in spans)
+
+    def test_run_metrics_dump(self, hello_file, capsys):
+        assert main(["run", hello_file, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry metrics" in out
+        assert "cpu_instructions_total" in out
+        assert "kernel_syscalls_total{name=SYS_write}" in out
+
+    def test_table_trace_one_track_per_workload(self, tmp_path, capsys):
+        trace = tmp_path / "table.json"
+        assert main(["table", "4", "--trace", str(trace)]) == 0
+        data = json.loads(trace.read_text())
+        meta = [
+            e for e in data["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        labels = {e["args"]["name"] for e in meta}
+        assert "Infrequent execve" in labels
+        assert len(meta) > 2  # one track per workload
+
+
 class TestReportCommand:
-    def test_report_writes_markdown(self, tmp_path, capsys):
+    def test_report_writes_markdown_and_json(self, tmp_path, capsys):
         out = tmp_path / "report.md"
         code = main(["report", "-o", str(out)])
         assert code == 0
@@ -200,3 +292,10 @@ class TestReportCommand:
         assert "## Table 8" in text
         assert "| pma |" in text
         assert "| NO |" not in text  # no mismatches
+        # the newline handling is real (regression: a no-op replace)
+        assert text.count("\n") > 20
+        data = json.loads((tmp_path / "report.json").read_text())
+        assert data["mismatches"] == 0
+        rows = {r["benchmark"]: r for r in data["rows"]}
+        assert rows["pma"]["match"] is True
+        assert rows["pma"]["expected"] == rows["pma"]["measured"]

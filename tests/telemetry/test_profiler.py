@@ -1,0 +1,78 @@
+"""Stage profiler: the live §8/§9 overhead breakdown."""
+
+from repro.telemetry import (
+    STAGE_ANALYSIS,
+    STAGE_BBFREQ,
+    STAGE_DATAFLOW,
+    STAGE_NATIVE,
+    STAGES,
+    StageProfiler,
+)
+
+
+def _loaded():
+    p = StageProfiler()
+    p.add(STAGE_BBFREQ, 0.1)
+    p.add(STAGE_DATAFLOW, 0.3)
+    p.add(STAGE_ANALYSIS, 0.1)
+    p.add_run(1.0)
+    return p
+
+
+class TestBreakdown:
+    def test_native_is_the_unattributed_remainder(self):
+        b = _loaded().breakdown()
+        assert abs(b[STAGE_NATIVE] - 0.5) < 1e-9
+        assert b[STAGE_DATAFLOW] == 0.3
+
+    def test_native_never_negative(self):
+        p = StageProfiler()
+        p.add(STAGE_DATAFLOW, 2.0)
+        p.add_run(1.0)  # attributed exceeds the run wall
+        assert p.breakdown()[STAGE_NATIVE] == 0.0
+
+    def test_accumulates_across_runs(self):
+        p = _loaded()
+        p.add(STAGE_DATAFLOW, 0.3)
+        p.add_run(1.0)
+        assert p.runs == 2
+        assert p.total_seconds == 2.0
+        assert abs(p.breakdown()[STAGE_DATAFLOW] - 0.6) < 1e-9
+
+    def test_shares_sum_to_one(self):
+        shares = _loaded().shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+class TestSlowdowns:
+    def test_cumulative_paper_configurations(self):
+        s = _loaded().slowdowns()
+        assert s[STAGE_NATIVE] == 1.0
+        assert abs(s[STAGE_BBFREQ] - 1.2) < 1e-9      # (0.5+0.1)/0.5
+        assert abs(s[STAGE_DATAFLOW] - 1.8) < 1e-9    # +0.3
+        assert abs(s[STAGE_ANALYSIS] - 2.0) < 1e-9    # +0.1 -> full
+        # monotone by construction
+        values = [s[stage] for stage in STAGES]
+        assert values == sorted(values)
+
+    def test_zero_native_degenerates_to_ones(self):
+        p = StageProfiler()
+        p.add(STAGE_DATAFLOW, 1.0)
+        p.add_run(0.5)
+        assert set(p.slowdowns().values()) == {1.0}
+
+
+class TestRendering:
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        d = json.loads(json.dumps(_loaded().to_dict()))
+        assert d["runs"] == 1
+        assert set(d["stage_seconds"]) == set(STAGES)
+
+    def test_render_names_the_paper_configurations(self):
+        text = _loaded().render()
+        for config in ("native", "native+bbfreq",
+                       "native+bbfreq+dataflow", "full monitor"):
+            assert config in text
+        assert "cumulative slowdown" in text
