@@ -5,15 +5,23 @@ by tracking the data flow" (per-instruction shadow updates).  We measure
 the same *shape* on a fixed compute+I/O workload under four monitor
 configurations:
 
-* native           — no monitor at all (NullHooks)
-* harrier-no-df    — monitoring with dataflow tracking off (the mw2.2.1
-                     configuration)
-* harrier-no-bb    — dataflow on, BB-frequency counting off
-* harrier-full     — the complete monitor
+* native            — no monitor at all (NullHooks)
+* harrier-no-df     — monitoring with dataflow tracking off (the mw2.2.1
+                      configuration)
+* harrier-no-bb     — dataflow on, BB-frequency counting off
+* harrier-full      — the complete monitor
+* *-interp variants — the same configuration with the block translation
+                      cache disabled (per-instruction interpretation),
+                      the PIN-without-code-cache counterfactual
 
-Absolute times are meaningless across substrates; the assertion is the
-ordering: full > no-df >= native, i.e. dataflow dominates the overhead.
+Absolute times are meaningless across substrates; the assertions are the
+shapes: full > no-df >= native (dataflow dominates the overhead, section
+9) and cached execution is not slower than interpretation (the code
+cache pays for itself).  The summary benchmark also writes
+``benchmarks/results/BENCH_performance.json`` with the raw numbers.
 """
+
+import json
 
 import pytest
 
@@ -68,20 +76,29 @@ text: .asciz "the quick brown fox jumps over the lazy dog"
 buf:  .space 64
 """
 
+#: name -> (harrier config or None for unmonitored, use the block cache?)
 _CONFIGS = {
-    "native": None,  # monitored=False
-    "harrier-no-dataflow": HarrierConfig(track_dataflow=False),
-    "harrier-no-bbfreq": HarrierConfig(track_bb_frequency=False),
-    "harrier-full": HarrierConfig(),
+    "native": (None, True),
+    "native-interp": (None, False),
+    "harrier-no-dataflow": (HarrierConfig(track_dataflow=False), True),
+    "harrier-no-bbfreq": (HarrierConfig(track_bb_frequency=False), True),
+    "harrier-full": (HarrierConfig(), True),
+    "harrier-full-interp": (HarrierConfig(), False),
 }
 
 
 def run_workload(config_name, telemetry=None):
-    config = _CONFIGS[config_name]
-    if config_name == "native":
-        hth = HTH(monitored=False, telemetry=telemetry)
+    config, block_cache = _CONFIGS[config_name]
+    if config is None:
+        hth = HTH(
+            monitored=False, telemetry=telemetry, block_cache=block_cache
+        )
     else:
-        hth = HTH(harrier_config=config, telemetry=telemetry)
+        hth = HTH(
+            harrier_config=config,
+            telemetry=telemetry,
+            block_cache=block_cache,
+        )
     report = hth.run(assemble("/bin/perf", WORKLOAD_SOURCE))
     assert report.exit_code == 0
     return report
@@ -110,12 +127,15 @@ def bench_overhead_summary(benchmark):
     # Registry-sourced per-config work counts: a separate metrics-enabled
     # pass so the instrumented run never perturbs the timed one.
     instructions = {}
+    hit_rates = {}
     for name in _CONFIGS:
         telemetry = Telemetry.enabled()
         run_workload(name, telemetry=telemetry)
-        instructions[name] = telemetry.metrics.total(
-            "cpu_instructions_total"
-        )
+        registry = telemetry.metrics
+        instructions[name] = registry.total("cpu_instructions_total")
+        hits = registry.total("blockcache_hits_total")
+        lookups = hits + registry.total("blockcache_misses_total")
+        hit_rates[name] = hits / lookups if lookups else None
     native = timings["native"]
     rows = [
         (
@@ -123,24 +143,55 @@ def bench_overhead_summary(benchmark):
             f"{seconds * 1000:.2f} ms",
             f"{seconds / native:.2f}x",
             f"{instructions[name]:,.0f}",
+            (
+                f"{hit_rates[name]:.1%}"
+                if hit_rates[name] is not None else "-"
+            ),
         )
         for name, seconds in timings.items()
     ]
     text = render_table(
         "Section 9: monitor overhead relative to native execution",
         ("configuration", "mean time", "slowdown vs native",
-         "instructions (registry)"),
+         "instructions (registry)", "block-cache hit rate"),
         rows,
     )
     write_result("performance_overhead.txt", text)
+    write_result(
+        "BENCH_performance.json",
+        json.dumps(
+            {
+                "workload": "/bin/perf (bench_performance.WORKLOAD_SOURCE)",
+                "reps": 3,
+                "configs": {
+                    name: {
+                        "mean_ms": timings[name] * 1000,
+                        "slowdown_vs_native": timings[name] / native,
+                        "instructions": instructions[name],
+                        "block_cache_hit_rate": hit_rates[name],
+                    }
+                    for name in _CONFIGS
+                },
+            },
+            indent=2,
+        ) + "\n",
+    )
     print("\n" + text)
     # the paper's shape: full monitoring is the slowest, and dataflow
     # tracking is the dominant cost
     assert timings["harrier-full"] > timings["native"]
     assert timings["harrier-full"] > timings["harrier-no-dataflow"]
     # every config retired the same guest work — the overhead is the
-    # monitor, not a different execution
+    # monitor (and the execution engine), never a different execution
     assert len(set(instructions.values())) == 1, instructions
+    # the code cache pays for itself (generous noise margin)
+    assert timings["harrier-full"] < (
+        timings["harrier-full-interp"] * 1.10
+    ), timings
+    # cached configs actually exercised the cache, interp ones never did
+    assert hit_rates["harrier-full"] is not None
+    assert hit_rates["harrier-full"] > 0.9, hit_rates
+    assert hit_rates["harrier-full-interp"] is None
 
 
 def bench_profiler_breakdown(benchmark):

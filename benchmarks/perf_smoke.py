@@ -1,0 +1,69 @@
+"""Perf smoke check: the block cache must not be slower than the
+interpreter.
+
+Runs the Section 9 workload under the full monitor through both
+execution engines and fails (exit 1) if the cached path is slower than
+the per-instruction interpreter beyond a small noise margin.  Designed
+for CI::
+
+    PYTHONPATH=src python -m benchmarks.perf_smoke
+
+Prints the measured times and the speedup either way.  This is a smoke
+test, not a benchmark — the real numbers live in
+``benchmarks/results/BENCH_performance.json`` (bench_performance.py).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from benchmarks.bench_performance import run_workload
+
+#: Paired runs per engine (interleaved to cancel thermal/load drift).
+REPS = 5
+
+#: The cached path must be at least this fraction of interpreter speed.
+#: 1.0 would assert "never slower at all", which is noise-prone on shared
+#: CI runners; the real speedup target (>=1.25x) is asserted in the full
+#: benchmark suite where reps are longer.
+NOISE_MARGIN = 1.05
+
+
+def measure() -> tuple:
+    cached = 0.0
+    interp = 0.0
+    # warm-up: first run pays import + assemble costs for both engines
+    run_workload("harrier-full")
+    run_workload("harrier-full-interp")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        run_workload("harrier-full")
+        cached += time.perf_counter() - start
+        start = time.perf_counter()
+        run_workload("harrier-full-interp")
+        interp += time.perf_counter() - start
+    return cached / REPS, interp / REPS
+
+
+def main() -> int:
+    cached, interp = measure()
+    speedup = interp / cached if cached else float("inf")
+    print(
+        f"perf smoke: cached={cached * 1000:.2f} ms "
+        f"interp={interp * 1000:.2f} ms "
+        f"speedup={speedup:.2f}x"
+    )
+    if cached > interp * NOISE_MARGIN:
+        print(
+            "FAIL: block-cache execution is slower than the "
+            f"per-instruction interpreter (margin {NOISE_MARGIN}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: block-cache execution is not slower than interpretation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,7 +141,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         complete_dataflow=not args.incomplete_dataflow,
     )
     telemetry = _build_telemetry(args)
-    hth = HTH(harrier_config=config, telemetry=telemetry)
+    hth = HTH(
+        harrier_config=config,
+        telemetry=telemetry,
+        block_cache=not args.no_block_cache,
+    )
     _apply_run_setup(hth, args)
     report = hth.run(
         image,
@@ -195,7 +199,10 @@ def cmd_table(args: argparse.Namespace) -> int:
     for workload in workloads:
         if telemetry is not None and telemetry.tracer is not None:
             telemetry.tracer.begin_track(workload.name)
-        report = workload.run(telemetry=telemetry)
+        report = workload.run(
+            telemetry=telemetry,
+            block_cache=not args.no_block_cache,
+        )
         ok = workload.classified_correctly(report)
         failures += not ok
         rules = ",".join(sorted({w.rule for w in report.warnings})) or "-"
@@ -303,7 +310,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     telemetry = Telemetry.enabled(
         trace=bool(getattr(args, "trace", None)), profile=True
     )
-    hth = HTH(telemetry=telemetry)
+    hth = HTH(telemetry=telemetry, block_cache=not args.no_block_cache)
     _apply_run_setup(hth, args)
     report = hth.run(
         image,
@@ -425,6 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable basic-block frequency counting")
     run.add_argument("--incomplete-dataflow", action="store_true",
                      help="emulate the paper's incomplete prototype")
+    run.add_argument("--no-block-cache", action="store_true",
+                     help="execute per-instruction instead of through the "
+                          "translated-block cache (reference semantics)")
     run.add_argument("--max-ticks", type=int, default=5_000_000)
     run.add_argument("--fail-on", choices=("low", "medium", "high"),
                      help="exit nonzero when warnings reach this severity")
@@ -449,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
         "table", help="reproduce one of the paper's evaluation tables"
     )
     table.add_argument("number", choices=sorted(_TABLE_BENCHES))
+    table.add_argument("--no-block-cache", action="store_true",
+                       help="run workloads on the per-instruction "
+                            "interpreter instead of the block cache")
     _add_telemetry_options(table)
     table.set_defaults(func=cmd_table)
 
@@ -506,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--serve", action="append",
                          metavar="HOST:PORT=DATA",
                          help="register a peer that pushes DATA on connect")
+    profile.add_argument("--no-block-cache", action="store_true",
+                         help="profile the per-instruction interpreter "
+                              "instead of the block cache")
     profile.add_argument("--max-ticks", type=int, default=5_000_000)
     _add_telemetry_options(profile)
     profile.set_defaults(func=cmd_profile)

@@ -91,6 +91,7 @@ class HTH:
         analyzer=None,
         fault_injector: Optional["FaultInjector"] = None,
         telemetry: Optional[Telemetry] = None,
+        block_cache: bool = True,
     ) -> None:
         self.policy = policy or PolicyConfig()
         self.telemetry = telemetry if telemetry is not None else (
@@ -118,6 +119,7 @@ class HTH:
             libraries=libs,
             fault_injector=fault_injector,
             telemetry=self.telemetry,
+            use_block_cache=block_cache,
         )
         self.harrier.bind(self.kernel)
         self.harrier.attach_telemetry(self.telemetry)
@@ -208,6 +210,7 @@ def run_monitored(
     fault_injector: Optional["FaultInjector"] = None,
     wall_timeout: Optional[float] = None,
     telemetry: Optional[Telemetry] = None,
+    block_cache: bool = True,
 ) -> RunReport:
     """One-shot convenience: build an HTH machine, run, report.
 
@@ -219,6 +222,7 @@ def run_monitored(
         decision=decision,
         fault_injector=fault_injector,
         telemetry=telemetry,
+        block_cache=block_cache,
     )
     if setup is not None:
         setup(hth)

@@ -13,6 +13,7 @@ from repro.harrier.analyzer import (
     always_kill,
 )
 from repro.harrier.bbfreq import CodeExecutionPatterns
+from repro.harrier.blockcache import BlockCache
 from repro.harrier.config import DEFAULT_TRUSTED_IMAGES, HarrierConfig
 from repro.harrier.content import sniff_content
 from repro.harrier.dataflow import InstructionDataFlow
@@ -48,6 +49,7 @@ __all__ = [
     "ShortCircuitFrame",
     "InstructionDataFlow",
     "CodeExecutionPatterns",
+    "BlockCache",
     "RoutineShortCircuit",
     "SyscallEventGenerator",
     "sniff_content",

@@ -1,0 +1,123 @@
+"""The block translation cache (PIN's code cache, reproduced).
+
+One :class:`BlockCache` holds every :class:`BlockPlan` translated for one
+*image layout* — the kernel keys caches per main-executable image, shares
+them across fork (instructions are immutable, and the loader's placement
+is deterministic per image), and swaps them out on execve (counted as a
+flush).  Lookups are one dict probe on the hot path; misses pay the
+translation cost exactly once per block leader.
+
+Hit/miss/translation counts are kept as plain ints (always, they feed
+the benchmark JSON) and mirrored into ``repro.telemetry`` counters when a
+metrics registry is attached:
+
+* ``blockcache_hits_total`` / ``blockcache_misses_total``
+* ``blockcache_translated_instructions_total``
+* ``blockcache_flushes_total`` (incremented by the kernel on execve)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.isa.memory import FlatMemory
+from repro.isa.translate import BlockPlan, translate_block
+
+
+class BlockCache:
+    """Entry-pc -> translated block, for one image layout."""
+
+    __slots__ = (
+        "leaders",
+        "plans",
+        "hits",
+        "misses",
+        "flushes",
+        "translated_instructions",
+        "max_blocks",
+        "_c_hits",
+        "_c_misses",
+        "_c_translated",
+    )
+
+    def __init__(
+        self,
+        leaders: FrozenSet[int] = frozenset(),
+        metrics=None,
+        max_blocks: int = 65536,
+    ) -> None:
+        #: Every image's absolute BB-leader set; blocks are cut so they
+        #: never run past one, making each leader a stable cache key.
+        self.leaders = leaders
+        self.plans: Dict[int, BlockPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.translated_instructions = 0
+        #: Defensive bound; a full cache is flushed wholesale, like PIN's
+        #: code cache under pressure.
+        self.max_blocks = max_blocks
+        if metrics is not None:
+            self._c_hits = metrics.counter("blockcache_hits_total")
+            self._c_misses = metrics.counter("blockcache_misses_total")
+            self._c_translated = metrics.counter(
+                "blockcache_translated_instructions_total"
+            )
+        else:
+            self._c_hits = None
+            self._c_misses = None
+            self._c_translated = None
+
+    def lookup(self, memory: FlatMemory, pc: int) -> BlockPlan:
+        """The cached plan entered at ``pc``, translating on first miss.
+
+        Raises :class:`repro.isa.memory.MemoryFault` when ``pc`` is
+        unmapped (same message the interpreter's fetch would produce).
+        """
+        plan = self.plans.get(pc)
+        if plan is not None:
+            self.hits += 1
+            if self._c_hits is not None:
+                self._c_hits.inc()
+            return plan
+        plan = translate_block(memory, pc, self.leaders)
+        self.misses += 1
+        if self._c_misses is not None:
+            self._c_misses.inc()
+        if len(self.plans) >= self.max_blocks:
+            self.flush()
+        self.plans[pc] = plan
+        self.translated_instructions += plan.length
+        if self._c_translated is not None:
+            self._c_translated.inc(plan.length)
+        return plan
+
+    def flush(self) -> None:
+        """Drop every translated block (refilled lazily on next lookup)."""
+        self.plans.clear()
+        self.flushes += 1
+
+    def hit_rate(self) -> Optional[float]:
+        total = self.hits + self.misses
+        if total == 0:
+            return None
+        return self.hits / total
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "blocks": len(self.plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "flushes": self.flushes,
+            "translated_instructions": self.translated_instructions,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BlockCache(<{len(self.plans)} blocks, "
+            f"{self.hits} hits / {self.misses} misses>)"
+        )

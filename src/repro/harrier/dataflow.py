@@ -8,6 +8,15 @@ state.  The interesting cases, matching the paper's examples:
   that contains the instruction;
 * ``add %ebx,%eax`` — destination gets the *union* of both operands' tags;
 * ``cpuid`` — the output registers get the HARDWARE tag.
+
+Two application paths exist: :meth:`InstructionDataFlow.apply` replays
+one :class:`StepResult` (the interpreter path), and
+:meth:`InstructionDataFlow.apply_block` replays a whole
+:class:`BlockRecord` from the block cache's precompiled taint templates.
+The batched path routes every union through a :class:`TagSetInterner`,
+so the steady state of a guest loop — the same block's templates over
+mostly-unchanged shadow state — costs dict probes instead of frozenset
+allocations.
 """
 
 from __future__ import annotations
@@ -16,7 +25,9 @@ from typing import Dict
 
 from repro.harrier.state import ProcessShadow
 from repro.isa.cpu import StepResult
-from repro.taint.tags import EMPTY, DataSource, TagSet
+from repro.isa.memory import MAX_CSTRING
+from repro.isa.translate import BlockRecord
+from repro.taint.tags import EMPTY, DataSource, TagSet, TagSetInterner
 
 _HARDWARE = TagSet.of(DataSource.HARDWARE)
 
@@ -26,11 +37,15 @@ class InstructionDataFlow:
 
     def __init__(self) -> None:
         self._binary_tags: Dict[str, TagSet] = {}
+        #: Shared hash-consing table + union memo for the batched path.
+        self.interner = TagSetInterner()
 
     def binary_tag(self, image_name: str) -> TagSet:
         tags = self._binary_tags.get(image_name)
         if tags is None:
-            tags = TagSet.of(DataSource.BINARY, image_name)
+            tags = self.interner.intern(
+                TagSet.of(DataSource.BINARY, image_name)
+            )
             self._binary_tags[image_name] = tags
         return tags
 
@@ -67,22 +82,93 @@ class InstructionDataFlow:
             else:
                 memory.set(dst[1], tags)
 
+    def apply_block(self, shadow: ProcessShadow, rec: BlockRecord) -> None:
+        """Replay one block record's taint templates over the shadow.
+
+        Equivalent to :meth:`apply` over the per-instruction StepResults
+        the record stands for, but with the transfer shapes precompiled:
+        the only per-execution inputs are the dynamic memory addresses in
+        ``rec.holes`` (consumed positionally — at most one per
+        instruction in this ISA) and the shadow state itself.
+        """
+        n = rec.executed
+        if n == 0:
+            return
+        plan = rec.plan
+        taint = plan.taint
+        holes = rec.holes
+        regs = shadow.regs
+        rget = regs.get
+        rset = regs.set
+        memory = shadow.memory
+        mget = memory.cell_tags.get
+        mset = memory.set
+        union = self.interner.union
+        imm_tags: TagSet = None  # lazily resolved once per block
+        cursor = 0
+        addr = 0
+        for i in range(n):
+            tmpl = taint[i]
+            if tmpl is None:
+                continue
+            has_hole, transfers = tmpl
+            if has_hole:
+                addr = holes[cursor]
+                cursor += 1
+            for dst_spec, src_specs in transfers:
+                tags = EMPTY
+                for src in src_specs:
+                    kind = src[0]
+                    if kind == "reg":
+                        tags = union(tags, rget(src[1]))
+                    elif kind == "mem?":
+                        cell = mget(addr)
+                        if cell is not None:
+                            tags = union(tags, cell)
+                    elif kind == "imm":
+                        if imm_tags is None:
+                            # Blocks never span images (placement leaves
+                            # unmapped gaps), so one lookup covers them.
+                            image = shadow.code_image.get(plan.start)
+                            imm_tags = (
+                                self.binary_tag(image.name)
+                                if image is not None
+                                else EMPTY
+                            )
+                        tags = union(tags, imm_tags)
+                    elif kind == "hardware":
+                        tags = union(tags, _HARDWARE)
+                    # 'zero' contributes nothing
+                if dst_spec[0] == "reg":
+                    rset(dst_spec[1], tags)
+                else:
+                    mset(addr, tags)
+
     # -- helpers used by the event generator --------------------------------
     @staticmethod
     def string_tags(proc, shadow: ProcessShadow, addr: int,
-                    max_len: int = 4096) -> TagSet:
+                    max_len: int = MAX_CSTRING) -> TagSet:
         """Union of shadow tags over the NUL-terminated string at ``addr``.
 
         This is "the data source of the resource ID" (paper section 5.1):
         e.g. the provenance of a file-name string passed to open().
+
+        The scan window matches :meth:`FlatMemory.read_cstring` (same
+        ``MAX_CSTRING`` default, NUL cell excluded); where read_cstring
+        faults on an unterminated string, this returns the union over
+        the full window — the monitor must stay conservative, never
+        raise, for strings only the guest mis-terminated.
         """
         tags = EMPTY
-        memory = proc.memory
-        shadow_mem = shadow.memory
+        cells = proc.memory.cells.get
+        shadow_cells = shadow.memory.cell_tags.get
         for i in range(max_len):
-            if memory.read(addr + i) == 0:
+            a = addr + i
+            if cells(a, 0) == 0:
                 break
-            tags = tags.union(shadow_mem.get(addr + i))
+            cell = shadow_cells(a)
+            if cell is not None:
+                tags = tags.union(cell)
         return tags
 
     @staticmethod

@@ -202,6 +202,46 @@ class Harrier(KernelHooks):
             self.bbfreq.observe(shadow, step.pc)
             prof.add(STAGE_BBFREQ, perf_counter() - t0)
 
+    def on_block(self, proc: Process, rec) -> None:
+        """Batched per-block observation (the block-cache hot path).
+
+        One call replaces ``executed`` on_instruction calls: the
+        dataflow templates are applied in a single pass, the routine
+        short-circuit sees the record only when its terminator was a
+        CALL/RET (those always end a block, so register state at hook
+        time matches the per-step path), and BB frequency is observed
+        once at the block's entry pc — interior pcs are never leaders by
+        construction of the translation cut.
+        """
+        if rec.executed == 0:
+            return
+        shadow = self.shadow(proc)
+        config = self.config
+        if self._profiler is None:
+            if config.track_dataflow:
+                self.dataflow.apply_block(shadow, rec)
+                if config.short_circuit_routines and (
+                    rec.call_target is not None
+                    or rec.ret_target is not None
+                ):
+                    self.routines.on_step(proc, shadow, rec)
+            if config.track_bb_frequency:
+                self.bbfreq.observe(shadow, rec.plan.start)
+            return
+        prof = self._profiler
+        if config.track_dataflow:
+            t0 = perf_counter()
+            self.dataflow.apply_block(shadow, rec)
+            if config.short_circuit_routines and (
+                rec.call_target is not None or rec.ret_target is not None
+            ):
+                self.routines.on_step(proc, shadow, rec)
+            prof.add(STAGE_DATAFLOW, perf_counter() - t0)
+        if config.track_bb_frequency:
+            t0 = perf_counter()
+            self.bbfreq.observe(shadow, rec.plan.start)
+            prof.add(STAGE_BBFREQ, perf_counter() - t0)
+
     # -- syscall events (section 7.1) -----------------------------------------
     def on_syscall_pre(
         self,

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from repro.harrier.dataflow import InstructionDataFlow
 from repro.harrier.state import ProcessShadow, ShortCircuitFrame
-from repro.isa.cpu import StepResult
 from repro.kernel.process import Process
 
 
@@ -25,8 +24,16 @@ class RoutineShortCircuit:
         self._dataflow = dataflow
 
     def on_step(
-        self, proc: Process, shadow: ProcessShadow, step: StepResult
+        self, proc: Process, shadow: ProcessShadow, step
     ) -> None:
+        """Track CALL/RET bookkeeping for one step-like record.
+
+        ``step`` is any object carrying ``call_target``,
+        ``call_return_addr`` and ``ret_target`` — a :class:`StepResult`
+        from the interpreter, or a :class:`BlockRecord` from the block
+        cache (CALL/RET always terminate a block, so the live register
+        state at hook time is the same in both paths).
+        """
         if step.call_target is not None:
             symbol = shadow.routine_addrs.get(step.call_target)
             if symbol is not None:

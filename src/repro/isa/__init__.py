@@ -43,6 +43,16 @@ from repro.isa.registers import (
     RegisterFile,
     SYSCALL_ARG_REGISTERS,
 )
+from repro.isa.translate import (
+    EXIT_BUDGET,
+    EXIT_CONTINUE,
+    EXIT_FAULT,
+    EXIT_HALT,
+    EXIT_SYSCALL,
+    BlockPlan,
+    BlockRecord,
+    translate_block,
+)
 
 __all__ = [
     "assemble",
@@ -78,4 +88,12 @@ __all__ = [
     "CPUID_REGISTERS",
     "SYSCALL_ARG_REGISTERS",
     "RegisterFile",
+    "BlockPlan",
+    "BlockRecord",
+    "translate_block",
+    "EXIT_CONTINUE",
+    "EXIT_SYSCALL",
+    "EXIT_HALT",
+    "EXIT_FAULT",
+    "EXIT_BUDGET",
 ]

@@ -241,9 +241,11 @@ class CPU:
         elif op is Opcode.OR:
             value = lhs | rhs
         elif op is Opcode.SHL:
-            value = lhs << max(rhs, 0)
+            # Mask the count to 0-63 like x86: a guest-controlled count
+            # must not allocate multi-gigabyte ints and stall the monitor.
+            value = lhs << (rhs & 63)
         elif op is Opcode.SHR:
-            value = lhs >> max(rhs, 0)
+            value = lhs >> (rhs & 63)
         else:  # pragma: no cover - exhaustive
             raise CpuFault(f"bad ALU opcode {op}")
         self.regs.set(dst.name, value)

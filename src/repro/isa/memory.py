@@ -21,6 +21,9 @@ class MemoryFault(Exception):
     """Raised when execution touches an unmapped code address."""
 
 
+#: Longest C string the helpers will scan before declaring it unterminated.
+MAX_CSTRING = 4096
+
 #: Default layout constants (one address unit == one cell).
 STACK_TOP = 0x7F_0000
 HEAP_BASE = 0x40_0000
@@ -56,14 +59,24 @@ class FlatMemory:
         return count
 
     # -- strings ----------------------------------------------------------
-    def read_cstring(self, addr: int, max_len: int = 4096) -> str:
-        """Read a NUL-terminated string starting at ``addr``."""
+    def read_cstring(self, addr: int, max_len: int = MAX_CSTRING) -> str:
+        """Read a NUL-terminated string starting at ``addr``.
+
+        Cell values are masked into the Unicode range; surrogate code
+        points (U+D800-U+DFFF, which ``chr`` accepts but no string may
+        carry through encoding) become U+FFFD instead of letting a guest
+        crash the kernel's string decoding with a ValueError.
+        """
         chars: List[str] = []
+        cells = self.cells
         for i in range(max_len):
-            value = self.read(addr + i)
+            value = cells.get(addr + i, 0)
             if value == 0:
                 return "".join(chars)
-            chars.append(chr(value & 0x10FFFF))
+            code = value & 0x10FFFF
+            if 0xD800 <= code <= 0xDFFF:
+                code = 0xFFFD
+            chars.append(chr(code))
         raise MemoryFault(
             f"unterminated string at {addr:#x} (>{max_len} cells)"
         )

@@ -1,0 +1,690 @@
+"""Basic-block translation: decode once, execute many times.
+
+The paper's Harrier rides on PIN, and PIN's whole performance story is a
+code cache: a basic block is decoded and instrumented *once*, then the
+translated block is re-executed cheaply on every later visit (paper
+sections 7 and 9).  This module reproduces that idea for the mini-ISA.
+
+``translate_block`` walks the instruction stream from a block leader and
+compiles every instruction into a closure with its operand accessors
+resolved ahead of time — no ``isinstance`` checks and no if/elif opcode
+dispatch remain on the hot path.  Alongside each closure it precomputes a
+*static taint-transfer template*: the dst/src location shapes of the
+instruction's :class:`TaintTransfer` records are known at decode time for
+everything except dynamic ``Mem`` addresses, which get a hole
+(:data:`MEM_HOLE`) filled from the runtime address trace.
+
+A :class:`BlockPlan` executes with explicit exit conditions: it returns a
+:class:`BlockRecord` whose ``kind`` says *why* the block stopped —
+fall-through/branch (:data:`EXIT_CONTINUE`), syscall
+(:data:`EXIT_SYSCALL`), HLT (:data:`EXIT_HALT`), CPU fault
+(:data:`EXIT_FAULT`) or quantum/deadline expiry (:data:`EXIT_BUDGET`).
+The record is the monitor's batched unit of observation: one record per
+block entry instead of one :class:`StepResult` per instruction.
+``BlockPlan.iter_steps`` reconstructs the per-instruction StepResults for
+consumers that still want them (the default hook compatibility path),
+bit-identical to what the interpreter would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.isa.cpu import (
+    CPUID_VALUES,
+    CpuFault,
+    LOC_HARDWARE,
+    LOC_IMM,
+    LOC_ZERO,
+    StepKind,
+    StepResult,
+    TaintTransfer,
+)
+from repro.isa.instructions import (
+    CONTROL_TRANSFER_OPCODES,
+    Imm,
+    Instruction,
+    Mem,
+    Opcode,
+    Reg,
+)
+from repro.isa.memory import FlatMemory, MemoryFault
+from repro.isa.registers import CPUID_REGISTERS
+
+#: Why a block's execution stopped.
+EXIT_CONTINUE = 0   # fall-through or control transfer; keep scheduling
+EXIT_SYSCALL = 1    # int 0x80 retired; the kernel must service it
+EXIT_HALT = 2       # HLT retired (counted, then treated as a fault)
+EXIT_FAULT = 3      # a CpuFault fired; the faulting instruction is NOT
+                    # included in ``executed`` (interpreter semantics)
+EXIT_BUDGET = 4     # quantum/deadline expired mid-block; resume at next_pc
+
+EXIT_NAMES = {
+    EXIT_CONTINUE: "continue",
+    EXIT_SYSCALL: "syscall",
+    EXIT_HALT: "halt",
+    EXIT_FAULT: "fault",
+    EXIT_BUDGET: "budget",
+}
+
+#: Placeholder in a taint template for a run-time memory address.  At most
+#: one dynamic address exists per instruction in this ISA (LOAD/STORE
+#: effective address, or the stack slot of PUSH/POP/CALL), so the hole is
+#: filled positionally from the record's address trace.
+MEM_HOLE: Tuple[str] = ("mem?",)
+
+#: Longest block the translator will form (defensive bound; real blocks
+#: end at control transfers or leaders long before this).
+MAX_BLOCK_LEN = 64
+
+#: A compiled straight-line op: ``op(cpu, regs, cells, holes)``.
+BodyOp = Callable[[object, dict, dict, list], None]
+
+#: Taint template: ``None`` (no transfers) or ``(has_hole, transfers)``
+#: where each transfer is ``(dst_spec, src_specs)`` built from the same
+#: location tuples the interpreter emits, with MEM_HOLE for the dynamic
+#: address.
+TaintTemplate = Optional[Tuple[bool, Tuple[Tuple[tuple, Tuple[tuple, ...]], ...]]]
+
+
+class BlockRecord:
+    """One execution of a (prefix of a) translated block.
+
+    ``executed`` counts retired instructions; a faulting instruction is
+    not retired, matching the interpreter (the kernel never advanced the
+    clock or fired the hook for it).  ``holes`` is the dynamic memory
+    address trace, in retirement order, consumed positionally by the
+    taint templates.  ``call_target``/``call_return_addr``/``ret_target``
+    mirror :class:`StepResult` so the routine short-circuit module can
+    consume a record directly (CALL/RET always terminate a block).
+    """
+
+    __slots__ = (
+        "plan",
+        "executed",
+        "kind",
+        "holes",
+        "fault",
+        "call_target",
+        "call_return_addr",
+        "ret_target",
+        "next_pc",
+    )
+
+    def __init__(self, plan: "BlockPlan") -> None:
+        self.plan = plan
+        self.executed = 0
+        self.kind = EXIT_CONTINUE
+        self.holes: List[int] = []
+        self.fault: Optional[CpuFault] = None
+        self.call_target: Optional[int] = None
+        self.call_return_addr: Optional[int] = None
+        self.ret_target: Optional[int] = None
+        self.next_pc = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BlockRecord(start={self.plan.start:#x}, "
+            f"executed={self.executed}/{self.plan.length}, "
+            f"kind={EXIT_NAMES[self.kind]})"
+        )
+
+
+class BlockPlan:
+    """A translated basic block: closures + taint templates."""
+
+    __slots__ = (
+        "start",
+        "pcs",
+        "instructions",
+        "body_ops",
+        "term_op",
+        "taint",
+        "length",
+    )
+
+    def __init__(
+        self,
+        start: int,
+        pcs: Tuple[int, ...],
+        instructions: Tuple[Instruction, ...],
+        body_ops: Tuple[BodyOp, ...],
+        term_op,
+        taint: Tuple[TaintTemplate, ...],
+    ) -> None:
+        self.start = start
+        self.pcs = pcs
+        self.instructions = instructions
+        self.body_ops = body_ops
+        self.term_op = term_op
+        self.taint = taint
+        self.length = len(pcs)
+
+    # -- execution --------------------------------------------------------
+    def execute(self, cpu, limit: int) -> BlockRecord:
+        """Run up to ``limit`` instructions of this block on ``cpu``.
+
+        The quantum/deadline budget is enforced *here* (never overshot):
+        a partial execution stops with :data:`EXIT_BUDGET` and the cpu's
+        pc parked on the first unexecuted instruction, so virtual-time
+        interleaving is identical to the per-instruction interpreter.
+        """
+        rec = BlockRecord(self)
+        holes = rec.holes
+        regs = cpu.regs._values
+        cells = cpu.memory.cells
+        n = 0
+        if limit >= self.length:
+            try:
+                for op in self.body_ops:
+                    op(cpu, regs, cells, holes)
+                    n += 1
+                self.term_op(cpu, regs, cells, holes, rec)
+            except CpuFault as fault:
+                rec.executed = n
+                rec.kind = EXIT_FAULT
+                rec.fault = fault
+                # Interpreter parity: the faulting instruction's pc was
+                # advanced past it before the raise.
+                cpu.pc = self.pcs[n] + 1
+                rec.next_pc = cpu.pc
+                return rec
+            rec.executed = n + 1
+            rec.next_pc = cpu.pc
+            return rec
+        # Partial: the budget expires inside the block.
+        try:
+            for op in self.body_ops[:limit]:
+                op(cpu, regs, cells, holes)
+                n += 1
+        except CpuFault as fault:
+            rec.executed = n
+            rec.kind = EXIT_FAULT
+            rec.fault = fault
+            cpu.pc = self.pcs[n] + 1
+            rec.next_pc = cpu.pc
+            return rec
+        rec.executed = n
+        rec.kind = EXIT_BUDGET
+        cpu.pc = self.pcs[n]
+        rec.next_pc = cpu.pc
+        return rec
+
+    # -- compatibility ----------------------------------------------------
+    def iter_steps(self, rec: BlockRecord) -> Iterator[StepResult]:
+        """Reconstruct per-instruction :class:`StepResult`s for a record.
+
+        Used by the default hook path so monitors that only implement
+        ``on_instruction`` keep working under the block cache.  The
+        yielded steps match what :meth:`CPU.step` would have returned for
+        the same execution, transfer for transfer.
+        """
+        n = rec.executed
+        if n == 0:
+            return
+        holes = rec.holes
+        cursor = 0
+        pcs = self.pcs
+        instrs = self.instructions
+        taint = self.taint
+        last = n - 1
+        # The terminator retired only on a non-fault, non-budget exit.
+        term_retired = rec.kind in (EXIT_CONTINUE, EXIT_SYSCALL, EXIT_HALT)
+        for i in range(n):
+            instr = instrs[i]
+            step = StepResult(pc=pcs[i], instruction=instr)
+            tmpl = taint[i]
+            addr = None
+            if tmpl is not None:
+                if tmpl[0]:
+                    addr = holes[cursor]
+                    cursor += 1
+                for dst_spec, src_specs in tmpl[1]:
+                    dst = ("mem", addr) if dst_spec is MEM_HOLE else dst_spec
+                    srcs = tuple(
+                        ("mem", addr) if s is MEM_HOLE else s
+                        for s in src_specs
+                    )
+                    step.transfers.append(TaintTransfer(dst, srcs))
+            opcode = instr.opcode
+            if opcode is Opcode.CPUID:
+                step.kind = StepKind.CPUID
+            if i == last and term_retired:
+                if opcode is Opcode.INT:
+                    step.kind = StepKind.SYSCALL
+                elif opcode is Opcode.HLT:
+                    step.kind = StepKind.HALT
+                step.call_target = rec.call_target
+                step.call_return_addr = rec.call_return_addr
+                step.ret_target = rec.ret_target
+                step.next_pc = rec.next_pc
+            else:
+                step.next_pc = pcs[i] + 1
+            yield step
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BlockPlan(start={self.start:#x}, len={self.length})"
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode compilation.  Each compiler returns (closure, taint_template).
+# Closures receive (cpu, regs, cells, holes): regs is the raw register
+# dict, cells the raw data-cell dict — both prebound per execution — and
+# holes the dynamic address trace the taint templates consume.
+# ---------------------------------------------------------------------------
+
+def _fault_body(message: str, halt: bool) -> BodyOp:
+    """A compiled op that always faults (decode-time-known errors)."""
+    def op(cpu, regs, cells, holes, _m=message, _h=halt):
+        if _h:
+            cpu.halted = True
+        raise CpuFault(_m)
+    return op
+
+
+def _fault_term(message: str, halt: bool):
+    def term(cpu, regs, cells, holes, rec, _m=message, _h=halt):
+        if _h:
+            cpu.halted = True
+        raise CpuFault(_m)
+    return term
+
+
+def _nop_op(cpu, regs, cells, holes) -> None:
+    pass
+
+
+def _c_mov(instr: Instruction, pc: int):
+    d = instr.a.name
+    b = instr.b
+    dloc = ("reg", d)
+    if type(b) is Reg:
+        s = b.name
+        def op(cpu, regs, cells, holes, _d=d, _s=s):
+            regs[_d] = regs[_s]
+        return op, (False, ((dloc, (("reg", s),)),))
+    if type(b) is Imm:
+        v = b.value
+        def op(cpu, regs, cells, holes, _d=d, _v=v):
+            regs[_d] = _v
+        return op, (False, ((dloc, (LOC_IMM,)),))
+    return _fault_body(f"bad source operand {b}", halt=False), None
+
+
+def _c_load(instr: Instruction, pc: int):
+    d = instr.a.name
+    m: Mem = instr.b
+    base, off = m.base, m.offset
+    def op(cpu, regs, cells, holes, _d=d, _b=base, _o=off):
+        addr = regs[_b] + _o
+        holes.append(addr)
+        regs[_d] = cells.get(addr, 0)
+    return op, (True, ((("reg", d), (MEM_HOLE,)),))
+
+
+def _c_store(instr: Instruction, pc: int):
+    m: Mem = instr.a
+    base, off = m.base, m.offset
+    b = instr.b
+    if type(b) is Reg:
+        s = b.name
+        def op(cpu, regs, cells, holes, _b=base, _o=off, _s=s):
+            addr = regs[_b] + _o
+            holes.append(addr)
+            cells[addr] = regs[_s]
+        srcs: Tuple[tuple, ...] = (("reg", s),)
+    elif type(b) is Imm:
+        v = b.value
+        def op(cpu, regs, cells, holes, _b=base, _o=off, _v=v):
+            addr = regs[_b] + _o
+            holes.append(addr)
+            cells[addr] = _v
+        srcs = (LOC_IMM,)
+    else:
+        return _fault_body(f"bad source operand {b}", halt=False), None
+    return op, (True, ((MEM_HOLE, srcs),))
+
+
+#: Plain binary ALU value functions.  Shift counts are masked to 0-63
+#: like x86 (keeps guest-controlled counts from allocating huge ints);
+#: the interpreter applies the same mask — see CPU._exec_alu.
+_ALU_FUNCS = {
+    Opcode.ADD: lambda l, r: l + r,
+    Opcode.SUB: lambda l, r: l - r,
+    Opcode.MUL: lambda l, r: l * r,
+    Opcode.XOR: lambda l, r: l ^ r,
+    Opcode.AND: lambda l, r: l & r,
+    Opcode.OR: lambda l, r: l | r,
+    Opcode.SHL: lambda l, r: l << (r & 63),
+    Opcode.SHR: lambda l, r: l >> (r & 63),
+}
+
+
+def _c_alu(instr: Instruction, pc: int):
+    opcode = instr.opcode
+    d = instr.a.name
+    b = instr.b
+    dloc = ("reg", d)
+    is_reg = type(b) is Reg
+    if not is_reg and type(b) is not Imm:
+        return _fault_body(f"bad source operand {b}", halt=False), None
+    if opcode in (Opcode.XOR, Opcode.SUB) and is_reg and b.name == d:
+        # xor r,r / sub r,r: constant zero carries no data.
+        srcs: Tuple[tuple, ...] = (LOC_ZERO,)
+    elif is_reg:
+        srcs = (dloc, ("reg", b.name))
+    else:
+        srcs = (dloc, LOC_IMM)
+    tmpl = (False, ((dloc, srcs),))
+
+    if opcode in (Opcode.DIV, Opcode.MOD):
+        msg = f"division by zero at {pc:#x}"
+        is_mod = opcode is Opcode.MOD
+        if is_reg:
+            s = b.name
+            def op(cpu, regs, cells, holes, _d=d, _s=s, _mod=is_mod,
+                   _m=msg):
+                lhs = regs[_d]
+                rhs = regs[_s]
+                if rhs == 0:
+                    cpu.halted = True
+                    raise CpuFault(_m)
+                q = int(lhs / rhs)  # truncate toward zero, like x86 idiv
+                value = lhs - q * rhs if _mod else q
+                regs[_d] = value
+                cpu.zf = value == 0
+                cpu.sf = value < 0
+        else:
+            v = b.value
+            if v == 0:
+                return _fault_body(msg, halt=True), tmpl
+            def op(cpu, regs, cells, holes, _d=d, _v=v, _mod=is_mod):
+                lhs = regs[_d]
+                q = int(lhs / _v)
+                value = lhs - q * _v if _mod else q
+                regs[_d] = value
+                cpu.zf = value == 0
+                cpu.sf = value < 0
+        return op, tmpl
+
+    fn = _ALU_FUNCS[opcode]
+    if is_reg:
+        s = b.name
+        def op(cpu, regs, cells, holes, _d=d, _s=s, _fn=fn):
+            value = _fn(regs[_d], regs[_s])
+            regs[_d] = value
+            cpu.zf = value == 0
+            cpu.sf = value < 0
+    else:
+        v = b.value
+        def op(cpu, regs, cells, holes, _d=d, _v=v, _fn=fn):
+            value = _fn(regs[_d], _v)
+            regs[_d] = value
+            cpu.zf = value == 0
+            cpu.sf = value < 0
+    return op, tmpl
+
+
+def _c_cmp(instr: Instruction, pc: int):
+    a = instr.a.name
+    b = instr.b
+    if type(b) is Reg:
+        s = b.name
+        def op(cpu, regs, cells, holes, _a=a, _s=s):
+            value = regs[_a] - regs[_s]
+            cpu.zf = value == 0
+            cpu.sf = value < 0
+    elif type(b) is Imm:
+        v = b.value
+        def op(cpu, regs, cells, holes, _a=a, _v=v):
+            value = regs[_a] - _v
+            cpu.zf = value == 0
+            cpu.sf = value < 0
+    else:
+        return _fault_body(f"bad source operand {b}", halt=False), None
+    return op, None
+
+
+def _c_push(instr: Instruction, pc: int):
+    a = instr.a
+    if type(a) is Reg:
+        s = a.name
+        def op(cpu, regs, cells, holes, _s=s):
+            sp = regs["esp"] - 1
+            regs["esp"] = sp
+            holes.append(sp)
+            cells[sp] = regs[_s]
+        srcs: Tuple[tuple, ...] = (("reg", s),)
+    elif type(a) is Imm:
+        v = a.value
+        def op(cpu, regs, cells, holes, _v=v):
+            sp = regs["esp"] - 1
+            regs["esp"] = sp
+            holes.append(sp)
+            cells[sp] = _v
+        srcs = (LOC_IMM,)
+    else:
+        return _fault_body(f"bad source operand {a}", halt=False), None
+    return op, (True, ((MEM_HOLE, srcs),))
+
+
+def _c_pop(instr: Instruction, pc: int):
+    d = instr.a.name
+    def op(cpu, regs, cells, holes, _d=d):
+        sp = regs["esp"]
+        holes.append(sp)
+        regs[_d] = cells.get(sp, 0)
+        regs["esp"] = sp + 1
+    return op, (True, ((("reg", d), (MEM_HOLE,)),))
+
+
+def _c_cpuid(instr: Instruction, pc: int):
+    values = tuple((r, CPUID_VALUES[r]) for r in CPUID_REGISTERS)
+    def op(cpu, regs, cells, holes, _vals=values):
+        for reg, val in _vals:
+            regs[reg] = val
+    tmpl = (
+        False,
+        tuple((("reg", r), (LOC_HARDWARE,)) for r in CPUID_REGISTERS),
+    )
+    return op, tmpl
+
+
+def _c_nop(instr: Instruction, pc: int):
+    return _nop_op, None
+
+
+_STRAIGHT_COMPILERS: Dict[Opcode, Callable] = {
+    Opcode.MOV: _c_mov,
+    Opcode.LOAD: _c_load,
+    Opcode.STORE: _c_store,
+    Opcode.ADD: _c_alu,
+    Opcode.SUB: _c_alu,
+    Opcode.MUL: _c_alu,
+    Opcode.DIV: _c_alu,
+    Opcode.MOD: _c_alu,
+    Opcode.XOR: _c_alu,
+    Opcode.AND: _c_alu,
+    Opcode.OR: _c_alu,
+    Opcode.SHL: _c_alu,
+    Opcode.SHR: _c_alu,
+    Opcode.CMP: _c_cmp,
+    Opcode.PUSH: _c_push,
+    Opcode.POP: _c_pop,
+    Opcode.CPUID: _c_cpuid,
+    Opcode.NOP: _c_nop,
+}
+
+
+def _compile_straight(instr: Instruction, pc: int):
+    compiler = _STRAIGHT_COMPILERS.get(instr.opcode)
+    if compiler is None:  # pragma: no cover - exhaustive opcode table
+        return _fault_body(f"unimplemented opcode {instr.opcode}",
+                           halt=False), None
+    return compiler(instr, pc)
+
+
+# -- terminators ------------------------------------------------------------
+
+_JCC_CONDS = {
+    Opcode.JZ: lambda cpu: cpu.zf,
+    Opcode.JNZ: lambda cpu: not cpu.zf,
+    Opcode.JL: lambda cpu: cpu.sf,
+    Opcode.JLE: lambda cpu: cpu.sf or cpu.zf,
+    Opcode.JG: lambda cpu: not (cpu.sf or cpu.zf),
+    Opcode.JGE: lambda cpu: not cpu.sf,
+}
+
+
+def _compile_terminator(instr: Instruction, pc: int):
+    """Compile the block's last instruction; returns (term_op, taint)."""
+    opcode = instr.opcode
+
+    if opcode is Opcode.JMP:
+        a = instr.a
+        if type(a) is not Imm:
+            return _fault_term(f"expected immediate, got {a}",
+                               halt=False), None
+        target = a.value
+        def term(cpu, regs, cells, holes, rec, _t=target):
+            cpu.pc = _t
+        return term, None
+
+    cond = _JCC_CONDS.get(opcode)
+    if cond is not None:
+        a = instr.a
+        if type(a) is not Imm:
+            return _fault_term(f"expected immediate, got {a}",
+                               halt=False), None
+        target = a.value
+        fall = pc + 1
+        def term(cpu, regs, cells, holes, rec, _t=target, _f=fall,
+                 _c=cond):
+            cpu.pc = _t if _c(cpu) else _f
+        return term, None
+
+    if opcode is Opcode.CALL:
+        a = instr.a
+        ret = pc + 1
+        if type(a) is Reg:
+            s = a.name
+            def term(cpu, regs, cells, holes, rec, _s=s, _r=ret):
+                target = regs[_s]
+                sp = regs["esp"] - 1
+                regs["esp"] = sp
+                holes.append(sp)
+                cells[sp] = _r
+                cpu.pc = target
+                rec.call_target = target
+                rec.call_return_addr = _r
+        elif type(a) is Imm:
+            target = a.value
+            def term(cpu, regs, cells, holes, rec, _t=target, _r=ret):
+                sp = regs["esp"] - 1
+                regs["esp"] = sp
+                holes.append(sp)
+                cells[sp] = _r
+                cpu.pc = _t
+                rec.call_target = _t
+                rec.call_return_addr = _r
+        else:
+            return _fault_term(f"expected immediate, got {a}",
+                               halt=False), None
+        return term, (True, ((MEM_HOLE, (LOC_ZERO,)),))
+
+    if opcode is Opcode.RET:
+        def term(cpu, regs, cells, holes, rec):
+            sp = regs["esp"]
+            target = cells.get(sp, 0)
+            regs["esp"] = sp + 1
+            cpu.pc = target
+            rec.ret_target = target
+        return term, None
+
+    if opcode is Opcode.INT:
+        a = instr.a
+        if type(a) is not Imm:
+            return _fault_term(f"expected immediate, got {a}",
+                               halt=False), None
+        if a.value != 0x80:
+            return _fault_term(
+                f"unsupported interrupt {a.value:#x} at {pc:#x}",
+                halt=True,
+            ), None
+        nxt = pc + 1
+        def term(cpu, regs, cells, holes, rec, _n=nxt):
+            cpu.pc = _n
+            rec.kind = EXIT_SYSCALL
+        return term, None
+
+    if opcode is Opcode.HLT:
+        nxt = pc + 1
+        def term(cpu, regs, cells, holes, rec, _n=nxt):
+            cpu.halted = True
+            cpu.pc = _n
+            rec.kind = EXIT_HALT
+        return term, None
+
+    # A cut block (leader / unmapped successor / max length): the last
+    # instruction is an ordinary straight-line op plus a fall-through.
+    op, tmpl = _compile_straight(instr, pc)
+    nxt = pc + 1
+    def term(cpu, regs, cells, holes, rec, _op=op, _n=nxt):
+        _op(cpu, regs, cells, holes)
+        cpu.pc = _n
+    return term, tmpl
+
+
+def translate_block(
+    memory: FlatMemory,
+    start: int,
+    stop_leaders=frozenset(),
+    max_len: int = MAX_BLOCK_LEN,
+) -> BlockPlan:
+    """Decode and compile the basic block whose leader is ``start``.
+
+    Cutting rules: the block ends at the first control transfer or INT,
+    just before any address in ``stop_leaders`` (so a later block entry
+    at a leader is always a cache key), before an unmapped address, or
+    at ``max_len`` instructions.  Raises :class:`MemoryFault` when
+    ``start`` itself is unmapped, with the interpreter's fetch message.
+    """
+    code = memory.code
+    instr = code.get(start)
+    if instr is None:
+        raise MemoryFault(f"execute of unmapped address {start:#x}")
+    pcs: List[int] = []
+    instrs: List[Instruction] = []
+    pc = start
+    while True:
+        pcs.append(pc)
+        instrs.append(instr)
+        opcode = instr.opcode
+        if opcode in CONTROL_TRANSFER_OPCODES or opcode is Opcode.INT:
+            break
+        if len(pcs) >= max_len:
+            break
+        nxt = pc + 1
+        if nxt in stop_leaders:
+            break
+        instr = code.get(nxt)
+        if instr is None:
+            break
+        pc = nxt
+
+    body_ops: List[BodyOp] = []
+    taint: List[TaintTemplate] = []
+    for i in range(len(pcs) - 1):
+        op, tmpl = _compile_straight(instrs[i], pcs[i])
+        body_ops.append(op)
+        taint.append(tmpl)
+    term_op, tmpl = _compile_terminator(instrs[-1], pcs[-1])
+    taint.append(tmpl)
+    return BlockPlan(
+        start=start,
+        pcs=tuple(pcs),
+        instructions=tuple(instrs),
+        body_ops=tuple(body_ops),
+        term_op=term_op,
+        taint=tuple(taint),
+    )

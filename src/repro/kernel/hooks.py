@@ -12,6 +12,7 @@ from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.isa.cpu import StepResult
+    from repro.isa.translate import BlockRecord
     from repro.kernel.loader import LoadedImage
     from repro.kernel.process import Process
 
@@ -32,6 +33,20 @@ class KernelHooks:
 
     def on_instruction(self, proc: "Process", step: "StepResult") -> None:
         """One instruction finished executing."""
+
+    def on_block(self, proc: "Process", rec: "BlockRecord") -> None:
+        """A translated basic block (or a prefix of one) finished.
+
+        Fired by the block-cache execution path *instead of* per-step
+        ``on_instruction`` calls.  The default replays the record as
+        per-instruction StepResults so monitors that only override
+        ``on_instruction`` observe the identical stream; batched
+        monitors (Harrier) override this and consume the record
+        directly.
+        """
+        on_instruction = self.on_instruction
+        for step in rec.plan.iter_steps(rec):
+            on_instruction(proc, step)
 
     def on_syscall_pre(
         self,
@@ -70,6 +85,9 @@ class KernelHooks:
 class NullHooks(KernelHooks):
     """Explicit no-op monitor (native execution)."""
 
+    def on_block(self, proc, rec) -> None:
+        """No replay either — native execution stays on the fast path."""
+
 
 class CompositeHooks(KernelHooks):
     """Fan one hook stream out to several monitors (e.g. Harrier plus a
@@ -94,6 +112,12 @@ class CompositeHooks(KernelHooks):
     def on_instruction(self, proc, step):
         for child in self.children:
             child.on_instruction(proc, step)
+
+    def on_block(self, proc, rec):
+        # Each child gets its own view: overridden on_block where the
+        # child is batch-aware, the default per-step replay otherwise.
+        for child in self.children:
+            child.on_block(proc, rec)
 
     def on_syscall_pre(self, proc, sysno, args, info):
         allowed = True

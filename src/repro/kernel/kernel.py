@@ -19,7 +19,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 from repro.isa.cpu import CPU, CpuFault, StepKind
 from repro.isa.image import Image
-from repro.isa.memory import FlatMemory
+from repro.isa.memory import FlatMemory, MemoryFault
+from repro.isa.translate import (
+    EXIT_BUDGET as BLOCK_BUDGET,
+    EXIT_CONTINUE as BLOCK_CONTINUE,
+    EXIT_FAULT as BLOCK_FAULT,
+    EXIT_HALT as BLOCK_HALT,
+    EXIT_SYSCALL as BLOCK_SYSCALL,
+)
 from repro.isa.registers import SYSCALL_ARG_REGISTERS
 from repro.kernel.console import Console
 from repro.kernel.errors import ENOENT, ENOEXEC, EACCES, WouldBlock
@@ -85,8 +92,14 @@ class Kernel:
         quantum: int = 200,
         fault_injector: Optional["FaultInjector"] = None,
         telemetry: Optional[Telemetry] = None,
+        use_block_cache: bool = True,
     ) -> None:
         self.hooks = hooks or NullHooks()
+        #: Translate basic blocks once and re-execute the compiled plans
+        #: (PIN's code cache).  False falls back to the per-instruction
+        #: interpreter — the differential tests run both and assert
+        #: identical results.
+        self.use_block_cache = use_block_cache
         #: Optional deterministic chaos source (see repro.faultinject).
         self.fault_injector = fault_injector
         #: Observability hub (see repro.telemetry).  A disabled hub wires
@@ -111,6 +124,7 @@ class Kernel:
             self._c_injected = m.counter("kernel_faults_injected_total")
             self._c_spawned = m.counter("kernel_processes_spawned_total")
             self._c_exited = m.counter("kernel_process_exits_total")
+            self._c_bc_flushes = m.counter("blockcache_flushes_total")
             self._syscall_counters: Dict[int, object] = {}
         else:
             self._metrics = None
@@ -126,6 +140,11 @@ class Kernel:
         self.quantum = quantum
         self._next_pid = 1
         self._fault_log: List[Tuple[int, str]] = []
+        #: One BlockCache per main-executable image, keyed by identity and
+        #: shared by every process running that image (fork included).
+        self._block_caches: Dict[int, Tuple[Image, object]] = {}
+        #: Times a process's cache was invalidated (execve swaps images).
+        self.block_cache_flushes = 0
 
     # -- setup -----------------------------------------------------------------
     def register_binary(self, image: Image, path: Optional[str] = None) -> str:
@@ -141,6 +160,56 @@ class Kernel:
         """Materialize /etc/hosts from the DNS table (call after peers are
         registered so gethostbyname's backing store is visible)."""
         self.fs.write_text("/etc/hosts", self.network.hosts_file_text())
+
+    # -- block translation cache ------------------------------------------------
+    def _block_cache_for(self, image: Image, image_map) -> object:
+        """The shared cache for ``image``, created on first use.
+
+        The loader's placement is deterministic per image (same base
+        addresses, same libraries), so every process running the same
+        image sees identical code at identical pcs and one cache serves
+        them all.  Block cutting stops at every image's BB leaders so a
+        later entry at a leader always lands on a cache key.
+        """
+        entry = self._block_caches.get(id(image))
+        if entry is not None and entry[0] is image:
+            return entry[1]
+        # Imported lazily: repro.harrier pulls in the monitor stack, which
+        # imports this module.
+        from repro.harrier.blockcache import BlockCache
+
+        leaders = set()
+        for loaded in image_map:
+            leaders.update(loaded.abs_bb_leaders())
+        cache = BlockCache(
+            leaders=frozenset(leaders), metrics=self._metrics
+        )
+        self._block_caches[id(image)] = (image, cache)
+        return cache
+
+    def block_cache_stats(self) -> Dict[str, object]:
+        """Aggregate hit/miss/translation counts across every live cache."""
+        totals = {
+            "blocks": 0,
+            "hits": 0,
+            "misses": 0,
+            "translated_instructions": 0,
+            "flushes": self.block_cache_flushes,
+        }
+        for _image, cache in self._block_caches.values():
+            stats = cache.stats()
+            totals["blocks"] += stats["blocks"]
+            totals["hits"] += stats["hits"]
+            totals["misses"] += stats["misses"]
+            totals["translated_instructions"] += (
+                stats["translated_instructions"]
+            )
+            totals["flushes"] += stats["flushes"]
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = (
+            totals["hits"] / lookups if lookups else None
+        )
+        return totals
 
     # -- process lifecycle ---------------------------------------------------
     def spawn(
@@ -179,6 +248,8 @@ class Kernel:
         self._next_pid += 1
         proc.image_map = load.image_map
         proc.brk = load.heap_base
+        if self.use_block_cache:
+            proc.block_cache = self._block_cache_for(image, load.image_map)
         self._install_stdio(proc)
         self.procs[proc.pid] = proc
         self._announce_load(proc, load)
@@ -234,6 +305,9 @@ class Kernel:
         )
         self._next_pid += 1
         child.image_map = parent.image_map
+        # Translated blocks are immutable and the address space layout is
+        # copied verbatim, so the child shares the parent's cache.
+        child.block_cache = parent.block_cache
         child.brk = parent.brk
         child.next_fd = parent.next_fd
         for fd, open_file in parent.fds.items():
@@ -276,6 +350,15 @@ class Kernel:
         proc.image_map = load.image_map
         proc.brk = load.heap_base
         proc.start_time = self.now
+        if self.use_block_cache:
+            # The old image's translations are invalid for the new address
+            # space: swap to the new image's (shared) cache.  Counted as a
+            # flush — this is the "Infrequent execve" cost of the paper's
+            # Table 8 in code-cache terms.
+            proc.block_cache = self._block_cache_for(image, load.image_map)
+            self.block_cache_flushes += 1
+            if self._metrics is not None:
+                self._c_bc_flushes.inc()
         self._announce_load(proc, load)
         return 0
 
@@ -444,6 +527,64 @@ class Kernel:
                 self._h_quantum.observe(executed)
 
     def _exec_quantum(self, proc: Process, deadline: int) -> None:
+        if proc.block_cache is None:
+            self._exec_quantum_interp(proc, deadline)
+            return
+        quantum = self.quantum
+        if self.fault_injector is not None:
+            quantum = self.fault_injector.quantum(quantum)
+        budget = quantum
+        hooks = self.hooks
+        while budget > 0:
+            if proc.state is not ProcessState.RUNNABLE or self.now >= deadline:
+                return
+            # Re-read per iteration: a syscall may have execve'd into a
+            # different image (new cpu, new cache).
+            cache = proc.block_cache
+            cpu = proc.cpu
+            try:
+                plan = cache.lookup(cpu.memory, cpu.pc)
+            except MemoryFault as fault:
+                # Interpreter parity: an unmapped fetch halts the CPU and
+                # faults with the fetch message, pc unchanged.
+                cpu.halted = True
+                self._fault_log.append((proc.pid, str(fault)))
+                if self._metrics is not None:
+                    self._c_cpu_faults.inc()
+                self.exit_process(proc, EXIT_FAULT)
+                return
+            limit = deadline - self.now
+            if budget < limit:
+                limit = budget
+            rec = plan.execute(cpu, limit)
+            executed = rec.executed
+            self.now += executed
+            self.instructions += executed
+            budget -= executed
+            hooks.on_block(proc, rec)
+            kind = rec.kind
+            if kind == BLOCK_CONTINUE or kind == BLOCK_BUDGET:
+                continue
+            if kind == BLOCK_SYSCALL:
+                self._service_syscall(proc)
+            elif kind == BLOCK_HALT:
+                self._fault_log.append((proc.pid, "HLT executed"))
+                self.exit_process(proc, EXIT_FAULT)
+                return
+            else:  # BLOCK_FAULT
+                self._fault_log.append((proc.pid, str(rec.fault)))
+                if self._metrics is not None:
+                    self._c_cpu_faults.inc()
+                self.exit_process(proc, EXIT_FAULT)
+                return
+
+    def _exec_quantum_interp(self, proc: Process, deadline: int) -> None:
+        """The original per-instruction interpreter loop (no block cache).
+
+        Kept verbatim as the reference semantics: the differential suite
+        runs every workload through both paths and asserts identical
+        reports.
+        """
         quantum = self.quantum
         if self.fault_injector is not None:
             quantum = self.fault_injector.quantum(quantum)

@@ -150,6 +150,10 @@ class Process:
         self.brk = 0
         #: Filled by the loader.
         self.image_map: Optional["ImageMap"] = None  # noqa: F821
+        #: The translated-block cache for this process's image layout
+        #: (None = per-instruction interpretation).  Shared across fork;
+        #: swapped by the kernel on execve.
+        self.block_cache: Optional["BlockCache"] = None  # noqa: F821
         #: Scratch space for the monitor (shadow state lives here).
         self.meta: Dict[str, object] = {}
         #: True once the process was killed by monitor/user decision.

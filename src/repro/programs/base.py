@@ -53,6 +53,7 @@ class Workload:
         harrier_config: Optional[HarrierConfig] = None,
         fault_injector=None,
         telemetry=None,
+        block_cache: bool = True,
     ) -> "HTH":  # noqa: F821
         from repro.core.hth import HTH
 
@@ -70,6 +71,7 @@ class Workload:
             libraries=libraries,
             fault_injector=fault_injector,
             telemetry=telemetry,
+            block_cache=block_cache,
         )
         if self.setup is not None:
             self.setup(hth)
@@ -82,9 +84,14 @@ class Workload:
         fault_injector=None,
         wall_timeout: Optional[float] = None,
         telemetry=None,
+        block_cache: bool = True,
     ) -> RunReport:
         hth = self.build_machine(
-            policy, harrier_config, fault_injector, telemetry=telemetry
+            policy,
+            harrier_config,
+            fault_injector,
+            telemetry=telemetry,
+            block_cache=block_cache,
         )
         return hth.run(
             self.image(),

@@ -9,12 +9,20 @@ Public surface:
 """
 
 from repro.taint.shadow import ShadowMemory, ShadowRegisters
-from repro.taint.tags import EMPTY, DataSource, Tag, TagSet, union_all
+from repro.taint.tags import (
+    EMPTY,
+    DataSource,
+    Tag,
+    TagSet,
+    TagSetInterner,
+    union_all,
+)
 
 __all__ = [
     "DataSource",
     "Tag",
     "TagSet",
+    "TagSetInterner",
     "EMPTY",
     "union_all",
     "ShadowRegisters",

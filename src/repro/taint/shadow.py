@@ -61,6 +61,17 @@ class ShadowMemory:
     def get(self, addr: int) -> TagSet:
         return self._tags.get(addr, EMPTY)
 
+    @property
+    def cell_tags(self) -> Dict[int, TagSet]:
+        """The live addr -> TagSet mapping, for read-only bulk scans.
+
+        Hot paths (string/range unions, the batched dataflow) bind
+        ``cell_tags.get`` once instead of paying a method call per cell.
+        Treat as read-only: writes must go through :meth:`set` so empty
+        sets never take up residence.
+        """
+        return self._tags
+
     def set(self, addr: int, tags: TagSet) -> None:
         if tags.is_empty():
             self._tags.pop(addr, None)

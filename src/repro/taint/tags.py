@@ -185,6 +185,63 @@ class TagSet:
 EMPTY = TagSet.empty()
 
 
+class TagSetInterner:
+    """Hash-consing table + identity-keyed union memo for TagSets.
+
+    The batched dataflow path performs the same unions over and over
+    (every iteration of a guest loop replays the same block's
+    templates over largely unchanged shadow state).  Interning makes
+    equal TagSets *identical* objects, and the union memo keyed by
+    ``(id(a), id(b))`` then turns repeated unions into one dict probe —
+    no frozenset allocation, no subset test.
+
+    The memo value stores ``(a, b, result)`` with strong references and
+    verifies both operands by identity before trusting a hit, so a
+    recycled ``id()`` can never alias a dead key to a wrong result.  The
+    memo is bounded: at ``max_memo`` entries it is cleared wholesale
+    (the steady-state working set re-fills in a few blocks).
+    """
+
+    __slots__ = ("_table", "_memo", "max_memo")
+
+    def __init__(self, max_memo: int = 8192) -> None:
+        self._table: dict = {EMPTY: EMPTY}
+        self._memo: dict = {}
+        self.max_memo = max_memo
+
+    def intern(self, tagset: TagSet) -> TagSet:
+        """The canonical object equal to ``tagset``."""
+        canonical = self._table.get(tagset)
+        if canonical is None:
+            self._table[tagset] = tagset
+            canonical = tagset
+        return canonical
+
+    def union(self, a: TagSet, b: TagSet) -> TagSet:
+        """``a | b``, interned and memoized.
+
+        Equal to ``a.union(b)`` always; additionally, when both operands
+        are interned the result is the canonical object for its value.
+        """
+        if a is b or not b._tags:
+            return a
+        if not a._tags:
+            return self.intern(b)
+        memo = self._memo
+        key = (id(a), id(b))
+        entry = memo.get(key)
+        if entry is not None and entry[0] is a and entry[1] is b:
+            return entry[2]
+        result = self.intern(a.union(b))
+        if len(memo) >= self.max_memo:
+            memo.clear()
+        memo[key] = (a, b, result)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
 def union_all(tagsets: Iterable[TagSet]) -> TagSet:
     """Union an iterable of tag sets (empty iterable -> empty set)."""
     result = TagSet.empty()

@@ -1,0 +1,89 @@
+"""Differential suite: every registered workload, cached vs interpreted.
+
+The block translation cache is a pure performance substrate — it must be
+impossible to tell from any observable output which engine executed the
+guest.  This runs the entire Table 4-8 + macro + extension + scenario
+registries through both engines and asserts the *full* report
+fingerprint matches: verdict, warnings, events, console output, fault
+log, virtual clock, per-process exit codes, and the monitor's internal
+shadow state (BB counters, register/memory tags).
+"""
+
+import importlib
+
+import pytest
+
+_REGISTRIES = (
+    ("table4", "repro.programs.micro.execflow", "table4_workloads"),
+    ("table5", "repro.programs.micro.resource", "table5_workloads"),
+    ("table6", "repro.programs.micro.infoflow", "table6_workloads"),
+    ("table7", "repro.programs.trusted.registry", "table7_workloads"),
+    ("table8", "repro.programs.exploits.registry", "table8_workloads"),
+    ("macro", "repro.programs.macro.registry", "macro_workloads"),
+    ("ext", "repro.programs.extensions", "extension_workloads"),
+    ("scenarios", "repro.programs.scenarios", "scenario_workloads"),
+)
+
+
+def _all_workloads():
+    out = []
+    for table, module_name, factory in _REGISTRIES:
+        module = importlib.import_module(module_name)
+        for workload in getattr(module, factory)():
+            out.append(pytest.param(workload, id=f"{table}-{workload.name}"))
+    return out
+
+
+def _shadow_fingerprint(hth):
+    """Monitor-internal state per process, in pid order."""
+    rows = []
+    for pid in sorted(hth.kernel.procs):
+        proc = hth.kernel.procs[pid]
+        shadow = proc.meta.get("harrier.shadow")
+        if shadow is None:
+            rows.append((pid, None))
+            continue
+        rows.append((
+            pid,
+            dict(shadow.bb_counts),
+            shadow.last_app_bb,
+            shadow.regs.snapshot(),
+            dict(shadow.memory.cell_tags),
+        ))
+    return rows
+
+
+def _run_fingerprint(workload, block_cache):
+    hth = workload.build_machine(block_cache=block_cache)
+    report = hth.run(
+        workload.image(),
+        argv=workload.argv or [workload.program_path],
+        env=workload.env,
+        stdin=workload.stdin,
+        max_ticks=workload.max_ticks,
+    )
+    return {
+        "verdict": report.verdict,
+        "warnings": [repr(w) for w in report.warnings],
+        "events": [str(e) for e in report.events],
+        "console": report.console_output,
+        "exit_code": report.exit_code,
+        "reason": report.result.reason,
+        "ticks": report.result.ticks,
+        "instructions": report.result.instructions,
+        "exit_codes": report.result.exit_codes,
+        "faults": report.faults,
+        "killed_by_monitor": report.killed_by_monitor,
+        "shadow": _shadow_fingerprint(hth),
+    }
+
+
+@pytest.mark.parametrize("workload", _all_workloads())
+def test_cached_execution_is_indistinguishable(workload):
+    cached = _run_fingerprint(workload, block_cache=True)
+    interp = _run_fingerprint(workload, block_cache=False)
+    for key in cached:
+        assert cached[key] == interp[key], (
+            f"{workload.name}: {key} diverges between block-cache and "
+            f"interpreter execution"
+        )

@@ -108,6 +108,26 @@ class TestAlu:
         run(cpu, 1)
         assert cpu.zf and not cpu.sf
 
+    @pytest.mark.parametrize(
+        ("op", "lhs", "count", "expected"),
+        [
+            # counts are masked to 0-63 like x86: 64 == 0, 65 == 1, and a
+            # guest-controlled huge count can't allocate a gigantic int
+            (Opcode.SHL, 1, 64, 1),
+            (Opcode.SHL, 1, 65, 2),
+            (Opcode.SHL, 3, 1 << 40, 3),
+            (Opcode.SHR, 16, 64, 16),
+            (Opcode.SHL, 1, -1, 1 << 63),  # -1 & 63 == 63
+            (Opcode.SHR, 1 << 63, -1, 1),
+        ],
+    )
+    def test_shift_counts_masked(self, op, lhs, count, expected):
+        cpu = make_cpu(Instruction(op, Reg("eax"), Reg("ebx")))
+        cpu.regs.set("eax", lhs)
+        cpu.regs.set("ebx", count)
+        run(cpu, 1)
+        assert cpu.regs.get("eax") == expected
+
     def test_alu_transfer_unions_both_operands(self):
         cpu = make_cpu(Instruction(Opcode.ADD, Reg("eax"), Reg("ebx")))
         (res,) = run(cpu, 1)

@@ -61,6 +61,26 @@ class TestStrings:
         mem.write_cstring(50, text)
         assert mem.read_cstring(50) == text
 
+    def test_surrogate_cells_become_replacement_char(self):
+        # a guest can store any int in a cell; surrogate code points
+        # (U+D800-U+DFFF) would crash chr()-based decoding, so they read
+        # back as U+FFFD instead of faulting the monitor
+        mem = FlatMemory()
+        for i, value in enumerate((ord("a"), 0xD800, 0xDFFF, ord("b"))):
+            mem.write(i, value)
+        mem.write(4, 0)
+        assert mem.read_cstring(0) == "a��b"
+
+    def test_out_of_plane_values_masked_to_codepoints(self):
+        # only a literal zero cell terminates; huge values are masked
+        # into the unicode range instead of raising ValueError
+        mem = FlatMemory()
+        mem.write(0, 0x200000)  # & 0x10FFFF == 0 but the cell is nonzero
+        mem.write(1, 0)
+        assert mem.read_cstring(0) == "\x00"
+        mem.write(0, (1 << 30) | ord("z"))
+        assert mem.read_cstring(0) == "z"
+
 
 class TestCode:
     def test_map_and_fetch(self):

@@ -1,0 +1,86 @@
+"""TagSetInterner invariants: canonical identity, memo safety, bounds."""
+
+from repro.taint import DataSource, TagSet, TagSetInterner
+from repro.taint.tags import EMPTY
+
+
+def ts(*names):
+    result = TagSet.empty()
+    for name in names:
+        result = result.union(TagSet.of(DataSource.FILE, name))
+    return result
+
+
+class TestIntern:
+    def test_equal_sets_become_identical(self):
+        interner = TagSetInterner()
+        a = interner.intern(ts("a", "b"))
+        b = interner.intern(ts("b", "a"))
+        assert a == b
+        assert a is b
+
+    def test_empty_is_the_singleton(self):
+        interner = TagSetInterner()
+        assert interner.intern(TagSet.empty()) is EMPTY
+
+    def test_table_growth(self):
+        interner = TagSetInterner()
+        base = len(interner)
+        interner.intern(ts("x"))
+        interner.intern(ts("y"))
+        interner.intern(ts("x"))  # duplicate: no growth
+        assert len(interner) == base + 2
+
+
+class TestUnion:
+    def test_matches_plain_union(self):
+        interner = TagSetInterner()
+        a, b = ts("a"), ts("b", "c")
+        assert interner.union(a, b) == a.union(b)
+
+    def test_identity_shortcuts(self):
+        interner = TagSetInterner()
+        a = interner.intern(ts("a"))
+        assert interner.union(a, a) is a
+        assert interner.union(a, EMPTY) is a
+        assert interner.union(EMPTY, a) is a
+
+    def test_repeated_union_returns_same_object(self):
+        interner = TagSetInterner()
+        a = interner.intern(ts("a"))
+        b = interner.intern(ts("b"))
+        first = interner.union(a, b)
+        assert interner.union(a, b) is first
+
+    def test_union_result_is_interned(self):
+        interner = TagSetInterner()
+        a = interner.intern(ts("a"))
+        b = interner.intern(ts("b"))
+        u = interner.union(a, b)
+        assert interner.intern(ts("a", "b")) is u
+
+    def test_memo_hit_requires_identity(self):
+        # equal-but-distinct operands must not be conflated through a
+        # stale id() — the entry verifies both operands by identity
+        interner = TagSetInterner()
+        a1, b = ts("a"), ts("b")
+        r1 = interner.union(a1, b)
+        a2 = ts("a")
+        assert a2 is not a1
+        r2 = interner.union(a2, b)
+        assert r2 == r1
+
+    def test_memo_bounded(self):
+        interner = TagSetInterner(max_memo=4)
+        sets = [interner.intern(ts(f"s{i}")) for i in range(10)]
+        for i in range(9):
+            interner.union(sets[i], sets[i + 1])
+        assert len(interner._memo) <= 4
+
+    def test_results_stay_correct_across_memo_clear(self):
+        interner = TagSetInterner(max_memo=2)
+        a, b, c = (interner.intern(ts(x)) for x in "abc")
+        assert interner.union(a, b) == a.union(b)
+        assert interner.union(b, c) == b.union(c)
+        assert interner.union(a, c) == a.union(c)
+        assert interner.union(a, b) == a.union(b)
