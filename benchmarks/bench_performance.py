@@ -13,6 +13,10 @@ configurations:
 * *-interp variants — the same configuration with the block translation
                       cache disabled (per-instruction interpretation),
                       the PIN-without-code-cache counterfactual
+* harrier-fastpath(-off) — the full monitor with the zero-taint dataflow
+                      fast path explicitly on/off (fastpath == the
+                      default harrier-full; -off replays every taint
+                      template per transfer)
 
 Absolute times are meaningless across substrates; the assertions are the
 shapes: full > no-df >= native (dataflow dominates the overhead, section
@@ -76,19 +80,26 @@ text: .asciz "the quick brown fox jumps over the lazy dog"
 buf:  .space 64
 """
 
-#: name -> (harrier config or None for unmonitored, use the block cache?)
+#: name -> (harrier config or None for unmonitored, use the block cache?,
+#: use the zero-taint dataflow fast path?)
 _CONFIGS = {
-    "native": (None, True),
-    "native-interp": (None, False),
-    "harrier-no-dataflow": (HarrierConfig(track_dataflow=False), True),
-    "harrier-no-bbfreq": (HarrierConfig(track_bb_frequency=False), True),
-    "harrier-full": (HarrierConfig(), True),
-    "harrier-full-interp": (HarrierConfig(), False),
+    "native": (None, True, True),
+    "native-interp": (None, False, True),
+    "harrier-no-dataflow": (
+        HarrierConfig(track_dataflow=False), True, True
+    ),
+    "harrier-no-bbfreq": (
+        HarrierConfig(track_bb_frequency=False), True, True
+    ),
+    "harrier-full": (HarrierConfig(), True, True),
+    "harrier-full-interp": (HarrierConfig(), False, True),
+    "harrier-fastpath": (HarrierConfig(), True, True),
+    "harrier-fastpath-off": (HarrierConfig(), True, False),
 }
 
 
 def run_workload(config_name, telemetry=None):
-    config, block_cache = _CONFIGS[config_name]
+    config, block_cache, taint_fastpath = _CONFIGS[config_name]
     if config is None:
         hth = HTH(
             monitored=False, telemetry=telemetry, block_cache=block_cache
@@ -98,6 +109,7 @@ def run_workload(config_name, telemetry=None):
             harrier_config=config,
             telemetry=telemetry,
             block_cache=block_cache,
+            taint_fastpath=taint_fastpath,
         )
     report = hth.run(assemble("/bin/perf", WORKLOAD_SOURCE))
     assert report.exit_code == 0
@@ -192,6 +204,11 @@ def bench_overhead_summary(benchmark):
     assert hit_rates["harrier-full"] is not None
     assert hit_rates["harrier-full"] > 0.9, hit_rates
     assert hit_rates["harrier-full-interp"] is None
+    # the zero-taint fast path pays for itself (generous noise margin;
+    # the real speedup gate lives in benchmarks.perf_smoke)
+    assert timings["harrier-fastpath"] < (
+        timings["harrier-fastpath-off"] * 1.10
+    ), timings
 
 
 def bench_profiler_breakdown(benchmark):

@@ -145,6 +145,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         harrier_config=config,
         telemetry=telemetry,
         block_cache=not args.no_block_cache,
+        taint_fastpath=not args.no_taint_fastpath,
     )
     _apply_run_setup(hth, args)
     report = hth.run(
@@ -202,6 +203,7 @@ def cmd_table(args: argparse.Namespace) -> int:
         report = workload.run(
             telemetry=telemetry,
             block_cache=not args.no_block_cache,
+            taint_fastpath=not args.no_taint_fastpath,
         )
         ok = workload.classified_correctly(report)
         failures += not ok
@@ -310,7 +312,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     telemetry = Telemetry.enabled(
         trace=bool(getattr(args, "trace", None)), profile=True
     )
-    hth = HTH(telemetry=telemetry, block_cache=not args.no_block_cache)
+    hth = HTH(
+        telemetry=telemetry,
+        block_cache=not args.no_block_cache,
+        taint_fastpath=not args.no_taint_fastpath,
+    )
     _apply_run_setup(hth, args)
     report = hth.run(
         image,
@@ -435,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-block-cache", action="store_true",
                      help="execute per-instruction instead of through the "
                           "translated-block cache (reference semantics)")
+    run.add_argument("--no-taint-fastpath", action="store_true",
+                     help="replay taint templates per transfer instead of "
+                          "evaluating block liveness summaries (reference "
+                          "dataflow semantics)")
     run.add_argument("--max-ticks", type=int, default=5_000_000)
     run.add_argument("--fail-on", choices=("low", "medium", "high"),
                      help="exit nonzero when warnings reach this severity")
@@ -462,6 +472,8 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--no-block-cache", action="store_true",
                        help="run workloads on the per-instruction "
                             "interpreter instead of the block cache")
+    table.add_argument("--no-taint-fastpath", action="store_true",
+                       help="disable the zero-taint dataflow fast path")
     _add_telemetry_options(table)
     table.set_defaults(func=cmd_table)
 
@@ -522,6 +534,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--no-block-cache", action="store_true",
                          help="profile the per-instruction interpreter "
                               "instead of the block cache")
+    profile.add_argument("--no-taint-fastpath", action="store_true",
+                         help="disable the zero-taint dataflow fast path")
     profile.add_argument("--max-ticks", type=int, default=5_000_000)
     _add_telemetry_options(profile)
     profile.set_defaults(func=cmd_profile)

@@ -92,6 +92,7 @@ class HTH:
         fault_injector: Optional["FaultInjector"] = None,
         telemetry: Optional[Telemetry] = None,
         block_cache: bool = True,
+        taint_fastpath: bool = True,
     ) -> None:
         self.policy = policy or PolicyConfig()
         self.telemetry = telemetry if telemetry is not None else (
@@ -106,9 +107,14 @@ class HTH:
         self.secpert = self.analyzer if isinstance(
             self.analyzer, Secpert
         ) else getattr(self.analyzer, "secpert", None)
+        config = harrier_config or HarrierConfig()
+        if not taint_fastpath and config.taint_fastpath:
+            # The escape hatch only ever *disables* the fast path; an
+            # explicit HarrierConfig(taint_fastpath=False) always wins.
+            config = replace(config, taint_fastpath=False)
         self.harrier = Harrier(
             analyzer=self.analyzer,
-            config=harrier_config,
+            config=config,
             decision=decision,
         )
         libs = list(libraries) if libraries is not None else [libc_image()]
@@ -211,6 +217,7 @@ def run_monitored(
     wall_timeout: Optional[float] = None,
     telemetry: Optional[Telemetry] = None,
     block_cache: bool = True,
+    taint_fastpath: bool = True,
 ) -> RunReport:
     """One-shot convenience: build an HTH machine, run, report.
 
@@ -223,6 +230,7 @@ def run_monitored(
         fault_injector=fault_injector,
         telemetry=telemetry,
         block_cache=block_cache,
+        taint_fastpath=taint_fastpath,
     )
     if setup is not None:
         setup(hth)

@@ -104,6 +104,11 @@ class BlockCache:
         return self.hits / total
 
     def stats(self) -> Dict[str, object]:
+        # How much of the resident cache the dataflow fast path can
+        # collapse: no-op blocks (no taint outputs at all) and
+        # zero-taint-safe blocks (skippable outright when the shadow
+        # state is clean — no immediate/hardware sources).
+        plans = self.plans.values()
         return {
             "blocks": len(self.plans),
             "hits": self.hits,
@@ -111,6 +116,12 @@ class BlockCache:
             "flushes": self.flushes,
             "translated_instructions": self.translated_instructions,
             "hit_rate": self.hit_rate(),
+            "taint_noop_blocks": sum(
+                1 for p in plans if p.taint_summary.is_noop
+            ),
+            "zero_taint_safe_blocks": sum(
+                1 for p in plans if p.taint_summary.zero_taint_safe
+            ),
         }
 
     def __len__(self) -> int:

@@ -84,6 +84,13 @@ class Harrier(KernelHooks):
         self.analyzer = analyzer or EventAnalyzer()
         self.config = config or HarrierConfig()
         self.decision = decision
+        #: Cached (config is frozen): the per-block dispatch flags, so
+        #: the on_block hot path loads slots instead of chasing the
+        #: config dataclass per block.
+        self._fastpath = self.config.taint_fastpath
+        self._track_df = self.config.track_dataflow
+        self._track_bb = self.config.track_bb_frequency
+        self._short_circuit = self.config.short_circuit_routines
         self.dataflow = InstructionDataFlow()
         self.bbfreq = CodeExecutionPatterns()
         self.routines = RoutineShortCircuit(self.dataflow)
@@ -100,6 +107,11 @@ class Harrier(KernelHooks):
         )
         #: Events discarded because the bounded log was full.
         self.events_dropped: int = 0
+        #: Blocks whose taint effects were applied via the summary fast
+        #: path / the per-transfer slow path (always counted — the perf
+        #: benchmarks read them without a metrics registry attached).
+        self.fastpath_blocks: int = 0
+        self.slowpath_blocks: int = 0
         #: (event, warning) pairs where the decision policy said "kill".
         self.kills: List[Tuple[SecurityEvent, object]] = []
         #: Contained analysis failures (see :class:`MonitorFault`).
@@ -215,23 +227,45 @@ class Harrier(KernelHooks):
         """
         if rec.executed == 0:
             return
-        shadow = self.shadow(proc)
-        config = self.config
+        # self.shadow(proc), inlined (hottest call site).
+        meta = proc.meta
+        shadow = meta.get(_SHADOW_KEY)
+        if shadow is None:
+            shadow = meta[_SHADOW_KEY] = ProcessShadow()
         if self._profiler is None:
-            if config.track_dataflow:
-                self.dataflow.apply_block(shadow, rec)
-                if config.short_circuit_routines and (
+            plan = rec.plan
+            if self._track_df:
+                # _apply_block_dataflow, inlined; the compiled applier
+                # is called straight off the plan.
+                if (
+                    self._fastpath
+                    and rec.executed == plan.length
+                    and (
+                        plan.taint_apply
+                        or self.dataflow.install_applier(plan)
+                    )(shadow, rec)
+                ):
+                    self.fastpath_blocks += 1
+                else:
+                    self.slowpath_blocks += 1
+                    self.dataflow.apply_block(shadow, rec)
+                if self._short_circuit and (
                     rec.call_target is not None
                     or rec.ret_target is not None
                 ):
                     self.routines.on_step(proc, shadow, rec)
-            if config.track_bb_frequency:
-                self.bbfreq.observe(shadow, rec.plan.start)
+            if self._track_bb:
+                # self.bbfreq.observe, inlined.
+                pc = plan.start
+                if pc in shadow.app_leaders:
+                    shadow.bb_counts[pc] = shadow.bb_counts.get(pc, 0) + 1
+                    shadow.last_app_bb = pc
             return
         prof = self._profiler
+        config = self.config
         if config.track_dataflow:
             t0 = perf_counter()
-            self.dataflow.apply_block(shadow, rec)
+            self._apply_block_dataflow(shadow, rec)
             if config.short_circuit_routines and (
                 rec.call_target is not None or rec.ret_target is not None
             ):
@@ -241,6 +275,24 @@ class Harrier(KernelHooks):
             t0 = perf_counter()
             self.bbfreq.observe(shadow, rec.plan.start)
             prof.add(STAGE_BBFREQ, perf_counter() - t0)
+
+    def _apply_block_dataflow(self, shadow: ProcessShadow, rec) -> None:
+        """Apply one block's taint effects, fast path first.
+
+        The summary fast path is valid only for full executions (a
+        partial block's templates were only partially applied) and bails
+        on intra-block load/store aliasing; everything else replays the
+        templates per transfer.
+        """
+        if (
+            self._fastpath
+            and rec.executed == rec.plan.length
+            and self.dataflow.apply_summary(shadow, rec)
+        ):
+            self.fastpath_blocks += 1
+            return
+        self.slowpath_blocks += 1
+        self.dataflow.apply_block(shadow, rec)
 
     # -- syscall events (section 7.1) -----------------------------------------
     def on_syscall_pre(
@@ -366,6 +418,7 @@ class Harrier(KernelHooks):
         if m is None or self.kernel is None:
             return
         tainted_cells = 0
+        shadow_pages = 0
         tag_sets = set()
         max_cardinality = 0
         bb_executions = 0
@@ -374,7 +427,9 @@ class Harrier(KernelHooks):
             shadow = proc.meta.get(_SHADOW_KEY)
             if shadow is None:
                 continue
-            tainted_cells += len(shadow.memory)
+            page_stats = shadow.memory.page_stats()
+            tainted_cells += page_stats["cells"]
+            shadow_pages += page_stats["pages"]
             for _, tags in shadow.memory.live_cells():
                 tag_sets.add(tags)
                 if len(tags) > max_cardinality:
@@ -382,10 +437,13 @@ class Harrier(KernelHooks):
             bb_executions += sum(shadow.bb_counts.values())
             app_blocks += len(shadow.bb_counts)
         m.gauge("harrier_tainted_memory_cells").set(tainted_cells)
+        m.gauge("harrier_shadow_pages_live").set(shadow_pages)
         m.gauge("harrier_taint_sets_live").set(len(tag_sets))
         m.gauge("harrier_taint_set_max_cardinality").set(max_cardinality)
         m.gauge("harrier_bb_executions").set(bb_executions)
         m.gauge("harrier_app_basic_blocks").set(app_blocks)
+        m.gauge("harrier_fastpath_blocks").set(self.fastpath_blocks)
+        m.gauge("harrier_slowpath_blocks").set(self.slowpath_blocks)
 
     # -- process lifecycle -------------------------------------------------------
     def on_fork(self, parent: Process, child: Process) -> None:

@@ -86,6 +86,157 @@ BodyOp = Callable[[object, dict, dict, list], None]
 #: address.
 TaintTemplate = Optional[Tuple[bool, Tuple[Tuple[tuple, Tuple[tuple, ...]], ...]]]
 
+#: Summary-expression tokens (see :class:`TaintSummary`).  ``("reg", r)``
+#: is the tag set register ``r`` holds at block *entry*; ``("mem", k)``
+#: the tags of the cell the k-th dynamic address (hole) points at;
+#: TOK_IMM the containing image's BINARY tag; TOK_HW the HARDWARE tag.
+TOK_IMM: Tuple[str] = ("imm",)
+TOK_HW: Tuple[str] = ("hw",)
+
+
+class TaintSummary:
+    """Block-level taint liveness: what a block reads, loads, and writes.
+
+    Computed once at translation time by abstract interpretation of the
+    block's taint templates.  Every destination the block writes gets a
+    *support expression* — the set of entry-state tokens whose union is
+    the destination's final tag set, with intra-block register chains
+    already folded away.  Because tag-set union is associative,
+    commutative, and idempotent, evaluating the supports against the
+    shadow state at block entry reproduces the per-transfer replay
+    exactly, in O(#outputs) instead of O(#transfers) — the monitor's
+    fast path (see ``InstructionDataFlow.apply_summary``).
+
+    Validity: the expressions assume every ``("mem", k)`` read sees the
+    cell's *entry* tags, so they only hold when no load aliases an
+    earlier store of the same block.  ``alias_checks`` lists the
+    (read hole, earlier write holes) pairs the fast path must compare
+    at run time (almost always empty).
+    """
+
+    __slots__ = (
+        "live_in",
+        "read_holes",
+        "reg_writes",
+        "mem_writes",
+        "alias_checks",
+        "has_loads",
+        "touch_holes",
+        "is_noop",
+        "zero_taint_safe",
+    )
+
+    def __init__(
+        self,
+        live_in: Tuple[str, ...],
+        read_holes: Tuple[int, ...],
+        reg_writes: Tuple[Tuple[str, Tuple[tuple, ...]], ...],
+        mem_writes: Tuple[Tuple[int, Tuple[tuple, ...]], ...],
+        alias_checks: Tuple[Tuple[int, Tuple[int, ...]], ...],
+    ) -> None:
+        #: Registers whose entry tags feed at least one output.
+        self.live_in = live_in
+        #: Hole indices the block *loads* through (mem? sources).
+        self.read_holes = read_holes
+        #: reg name -> support tokens, final value per written register.
+        self.reg_writes = reg_writes
+        #: (hole index, support tokens) per memory store, program order.
+        self.mem_writes = mem_writes
+        self.alias_checks = alias_checks
+        self.has_loads = bool(read_holes)
+        #: Every hole index the expressions touch (loads + stores), for
+        #: the page-granularity "can this block see/leave taint" gate.
+        self.touch_holes = tuple(
+            sorted(set(read_holes) | {idx for idx, _ in mem_writes})
+        )
+        #: True when the block moves no tags at all (cmp/jmp-only
+        #: blocks): nothing to apply, ever.
+        self.is_noop = not reg_writes and not mem_writes
+        #: True when no output can carry taint unless an *input* does:
+        #: no immediate or hardware source reaches any destination, so a
+        #: clean entry state stays clean and the block can be skipped
+        #: outright (modulo clearing stale write-set tags).
+        self.zero_taint_safe = not any(
+            TOK_IMM in support or TOK_HW in support
+            for _, support in reg_writes
+        ) and not any(
+            TOK_IMM in support or TOK_HW in support
+            for _, support in mem_writes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaintSummary(live_in={self.live_in}, "
+            f"loads={len(self.read_holes)}, "
+            f"regs={[r for r, _ in self.reg_writes]}, "
+            f"stores={len(self.mem_writes)})"
+        )
+
+
+def summarize_taint(
+    taint: Tuple[TaintTemplate, ...]
+) -> TaintSummary:
+    """Fold a block's taint templates into a :class:`TaintSummary`."""
+    written: Dict[str, frozenset] = {}
+    reads: List[str] = []
+    seen_reads = set()
+    read_holes: List[int] = []
+    write_holes: List[int] = []
+    mem_writes: List[Tuple[int, frozenset]] = []
+    alias_checks: List[Tuple[int, Tuple[int, ...]]] = []
+    cursor = 0
+    for tmpl in taint:
+        if tmpl is None:
+            continue
+        has_hole, transfers = tmpl
+        idx = cursor
+        if has_hole:
+            cursor += 1
+        for dst_spec, src_specs in transfers:
+            tokens = set()
+            for src in src_specs:
+                kind = src[0]
+                if kind == "reg":
+                    reg = src[1]
+                    chained = written.get(reg)
+                    if chained is None:
+                        if reg not in seen_reads:
+                            seen_reads.add(reg)
+                            reads.append(reg)
+                        tokens.add(("reg", reg))
+                    else:
+                        tokens |= chained
+                elif kind == "mem?":
+                    if write_holes:
+                        alias_checks.append((idx, tuple(write_holes)))
+                    read_holes.append(idx)
+                    tokens.add(("mem", idx))
+                elif kind == "imm":
+                    tokens.add(TOK_IMM)
+                elif kind == "hardware":
+                    tokens.add(TOK_HW)
+                # 'zero' contributes nothing
+            if dst_spec[0] == "reg":
+                written[dst_spec[1]] = frozenset(tokens)
+            else:
+                mem_writes.append((idx, frozenset(tokens)))
+                write_holes.append(idx)
+    # Deterministic token order keeps evaluation reproducible.
+    def _ordered(tokens: frozenset) -> Tuple[tuple, ...]:
+        return tuple(sorted(tokens, key=lambda t: (t[0], str(t[1:]))))
+
+    return TaintSummary(
+        live_in=tuple(reads),
+        read_holes=tuple(read_holes),
+        reg_writes=tuple(
+            (reg, _ordered(tokens)) for reg, tokens in written.items()
+        ),
+        mem_writes=tuple(
+            (idx, _ordered(tokens)) for idx, tokens in mem_writes
+        ),
+        alias_checks=tuple(alias_checks),
+    )
+
 
 class BlockRecord:
     """One execution of a (prefix of a) translated block.
@@ -140,6 +291,8 @@ class BlockPlan:
         "body_ops",
         "term_op",
         "taint",
+        "taint_summary",
+        "taint_apply",
         "length",
     )
 
@@ -158,6 +311,14 @@ class BlockPlan:
         self.body_ops = body_ops
         self.term_op = term_op
         self.taint = taint
+        #: Block-level liveness/fold summary for the zero-taint fast path.
+        self.taint_summary = summarize_taint(taint)
+        #: The compiled summary applier, installed lazily by the fast
+        #: path (``InstructionDataFlow.apply_summary``) the first time
+        #: this block's taint effects are applied — a closure shaped to
+        #: this block's summary, with its own entry-values memo, just as
+        #: ``body_ops`` are closures shaped to the instructions.
+        self.taint_apply = None
         self.length = len(pcs)
 
     # -- execution --------------------------------------------------------

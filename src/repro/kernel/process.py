@@ -151,10 +151,13 @@ class Process:
         #: Filled by the loader.
         self.image_map: Optional["ImageMap"] = None  # noqa: F821
         #: The translated-block cache for this process's image layout
-        #: (None = per-instruction interpretation).  Shared across fork;
-        #: swapped by the kernel on execve.
+        #: (None = per-instruction interpretation).  Shared across fork
+        #: (plans — including their taint-liveness summaries — are
+        #: immutable); swapped by the kernel on execve.
         self.block_cache: Optional["BlockCache"] = None  # noqa: F821
-        #: Scratch space for the monitor (shadow state lives here).
+        #: Scratch space for the monitor (shadow state lives here; fork
+        #: duplicates it via ``ProcessShadow.copy``, which shares shadow
+        #: memory pages copy-on-write between parent and child).
         self.meta: Dict[str, object] = {}
         #: True once the process was killed by monitor/user decision.
         self.killed_by_monitor = False

@@ -54,6 +54,7 @@ class Workload:
         fault_injector=None,
         telemetry=None,
         block_cache: bool = True,
+        taint_fastpath: bool = True,
     ) -> "HTH":  # noqa: F821
         from repro.core.hth import HTH
 
@@ -72,6 +73,7 @@ class Workload:
             fault_injector=fault_injector,
             telemetry=telemetry,
             block_cache=block_cache,
+            taint_fastpath=taint_fastpath,
         )
         if self.setup is not None:
             self.setup(hth)
@@ -85,6 +87,7 @@ class Workload:
         wall_timeout: Optional[float] = None,
         telemetry=None,
         block_cache: bool = True,
+        taint_fastpath: bool = True,
     ) -> RunReport:
         hth = self.build_machine(
             policy,
@@ -92,6 +95,7 @@ class Workload:
             fault_injector,
             telemetry=telemetry,
             block_cache=block_cache,
+            taint_fastpath=taint_fastpath,
         )
         return hth.run(
             self.image(),

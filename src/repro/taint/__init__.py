@@ -8,7 +8,11 @@ Public surface:
 * :class:`ShadowRegisters` / :class:`ShadowMemory` — per-location tag stores.
 """
 
-from repro.taint.shadow import ShadowMemory, ShadowRegisters
+from repro.taint.shadow import (
+    PAGE_SIZE,
+    ShadowMemory,
+    ShadowRegisters,
+)
 from repro.taint.tags import (
     EMPTY,
     DataSource,
@@ -27,4 +31,5 @@ __all__ = [
     "union_all",
     "ShadowRegisters",
     "ShadowMemory",
+    "PAGE_SIZE",
 ]

@@ -69,7 +69,7 @@ class TagSet:
     of both operand tag sets (section 7.3.1).
     """
 
-    __slots__ = ("_tags",)
+    __slots__ = ("_tags", "_hash")
 
     _EMPTY: "TagSet" = None  # type: ignore[assignment]
 
@@ -79,6 +79,7 @@ class TagSet:
             if not isinstance(tag, Tag):
                 raise TypeError(f"TagSet elements must be Tags, got {tag!r}")
         object.__setattr__(self, "_tags", frozen)
+        object.__setattr__(self, "_hash", None)
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -171,7 +172,12 @@ class TagSet:
         return self._tags == other._tags
 
     def __hash__(self) -> int:
-        return hash(self._tags)
+        # Cached: sets appear in memo keys that are hashed constantly.
+        h = self._hash
+        if h is None:
+            h = hash(self._tags)
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __or__(self, other: "TagSet") -> "TagSet":
         return self.union(other)

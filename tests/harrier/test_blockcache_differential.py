@@ -1,12 +1,15 @@
-"""Differential suite: every registered workload, cached vs interpreted.
+"""Differential suite: every registered workload, cached vs interpreted,
+and taint fast path on vs off.
 
-The block translation cache is a pure performance substrate — it must be
-impossible to tell from any observable output which engine executed the
-guest.  This runs the entire Table 4-8 + macro + extension + scenario
-registries through both engines and asserts the *full* report
-fingerprint matches: verdict, warnings, events, console output, fault
-log, virtual clock, per-process exit codes, and the monitor's internal
-shadow state (BB counters, register/memory tags).
+The block translation cache and the zero-taint fast path are pure
+performance substrates — it must be impossible to tell from any
+observable output which engine executed the guest or which dataflow
+path tagged it.  This runs the entire Table 4-8 + macro + extension +
+scenario registries through both engines and both dataflow paths and
+asserts the *full* report fingerprint matches: verdict, warnings,
+events, console output, fault log, virtual clock, per-process exit
+codes, and the monitor's internal shadow state (BB counters,
+register/memory tags).
 """
 
 import importlib
@@ -53,8 +56,10 @@ def _shadow_fingerprint(hth):
     return rows
 
 
-def _run_fingerprint(workload, block_cache):
-    hth = workload.build_machine(block_cache=block_cache)
+def _run_fingerprint(workload, block_cache, taint_fastpath=True):
+    hth = workload.build_machine(
+        block_cache=block_cache, taint_fastpath=taint_fastpath
+    )
     report = hth.run(
         workload.image(),
         argv=workload.argv or [workload.program_path],
@@ -86,4 +91,15 @@ def test_cached_execution_is_indistinguishable(workload):
         assert cached[key] == interp[key], (
             f"{workload.name}: {key} diverges between block-cache and "
             f"interpreter execution"
+        )
+
+
+@pytest.mark.parametrize("workload", _all_workloads())
+def test_fastpath_is_indistinguishable(workload):
+    fast = _run_fingerprint(workload, block_cache=True, taint_fastpath=True)
+    slow = _run_fingerprint(workload, block_cache=True, taint_fastpath=False)
+    for key in fast:
+        assert fast[key] == slow[key], (
+            f"{workload.name}: {key} diverges between summary fast path "
+            f"and per-transfer template replay"
         )
