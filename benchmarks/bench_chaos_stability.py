@@ -63,6 +63,42 @@ def bench_chaos_table8_stability(benchmark):
     assert sum(r.total_faults for r in results) > 0
 
 
+def bench_chaos_table8_sharded(benchmark):
+    """The same stability sweep through the fleet path: sharding the
+    (workload × seed) grid across processes must not change a single
+    trial — (workload, profile, seed) determines each run bit-for-bit."""
+    from repro.fleet import WorkloadRef
+
+    refs = [
+        WorkloadRef.from_registry("8", w.name)
+        for w in table8_workloads()
+    ]
+    sharded = once(
+        benchmark,
+        lambda: run_chaos_suite(
+            refs,
+            base_seed=BASE_SEED,
+            trials=TRIALS,
+            profile=TRANSPARENT_PROFILE,
+            workers=2,
+        ),
+    )
+    serial = run_chaos_suite(
+        table8_workloads(),
+        base_seed=BASE_SEED,
+        trials=TRIALS,
+        profile=TRANSPARENT_PROFILE,
+    )
+    assert [r.workload for r in sharded] == [r.workload for r in serial]
+    for s_result, f_result in zip(serial, sharded):
+        assert f_result.stable == s_result.stable
+        assert f_result.verdicts == s_result.verdicts
+        assert f_result.total_faults == s_result.total_faults
+        assert [t.reason for t in f_result.trials] == (
+            [t.reason for t in s_result.trials]
+        )
+
+
 def bench_chaos_table8_graceful_degradation(benchmark):
     results = once(
         benchmark,

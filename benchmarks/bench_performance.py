@@ -30,7 +30,9 @@ import json
 import pytest
 
 from benchmarks.harness import render_table, write_result
+from repro.api import run as api_run
 from repro.core.hth import HTH
+from repro.core.options import RunOptions
 from repro.harrier.config import HarrierConfig
 from repro.isa import assemble
 from repro.telemetry import (
@@ -100,18 +102,25 @@ _CONFIGS = {
 
 def run_workload(config_name, telemetry=None):
     config, block_cache, taint_fastpath = _CONFIGS[config_name]
+    options = RunOptions(
+        harrier_config=config,
+        block_cache=block_cache,
+        taint_fastpath=taint_fastpath,
+    )
     if config is None:
-        hth = HTH(
-            monitored=False, telemetry=telemetry, block_cache=block_cache
-        )
+        # Unmonitored native baseline: repro.api always monitors, so the
+        # raw HTH constructor stays the entry point here.
+        hth = HTH(monitored=False, telemetry=telemetry, options=options)
+        report = hth.run(assemble("/bin/perf", WORKLOAD_SOURCE))
     else:
-        hth = HTH(
-            harrier_config=config,
+        # One-shot through the facade: a throwaway Session per call, so
+        # every measured run still pays (and measures) cold translation.
+        report = api_run(
+            WORKLOAD_SOURCE,
+            options=options,
             telemetry=telemetry,
-            block_cache=block_cache,
-            taint_fastpath=taint_fastpath,
+            path="/bin/perf",
         )
-    report = hth.run(assemble("/bin/perf", WORKLOAD_SOURCE))
     assert report.exit_code == 0
     return report
 
@@ -268,3 +277,53 @@ def bench_nullsink_overhead(benchmark):
     )
     # generous noise margin: the disabled path does strictly less work
     assert disabled < enabled * 2.0
+
+
+def bench_fleet_sweep(benchmark):
+    """The 62-workload sweep, serial vs sharded across 4 workers.
+
+    The load-bearing assertion is determinism: the sharded fleet's
+    per-run report dicts must be bit-identical to the serial sweep's.
+    Scaling is reported (and written to the results file) but only
+    *gated* in ``benchmarks.perf_smoke``, where it is conditioned on the
+    host actually having cores to scale on.
+    """
+    import os
+
+    from repro.fleet import run_fleet, workload_refs
+
+    refs = workload_refs()
+
+    def measure():
+        serial = run_fleet(refs, workers=1)
+        sharded = run_fleet(refs, workers=4)
+        return serial, sharded
+
+    serial, sharded = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert not serial.failures, [r.name for r in serial.failures]
+    assert not sharded.failures, [r.name for r in sharded.failures]
+    assert json.dumps(serial.reports, sort_keys=True, default=str) == (
+        json.dumps(sharded.reports, sort_keys=True, default=str)
+    ), "sharded fleet reports diverged from the serial sweep"
+    speedup = (
+        serial.wall_seconds / sharded.wall_seconds
+        if sharded.wall_seconds else float("inf")
+    )
+    text = (
+        f"fleet sweep: {len(refs)} workloads, serial "
+        f"{serial.wall_seconds * 1000:.0f} ms vs 4 workers "
+        f"{sharded.wall_seconds * 1000:.0f} ms "
+        f"({speedup:.2f}x on {os.cpu_count()} cpu(s))"
+    )
+    print("\n" + text)
+    write_result("BENCH_fleet.json", json.dumps(
+        {
+            "workloads": len(refs),
+            "serial_seconds": serial.wall_seconds,
+            "sharded_seconds": sharded.wall_seconds,
+            "workers": 4,
+            "speedup": speedup,
+            "cpus": os.cpu_count(),
+        },
+        indent=2,
+    ) + "\n")

@@ -10,7 +10,10 @@ when either property breaks:
   faster than per-transfer template replay — or the two modes disagree
   on retired instructions or emitted warnings (they must be
   observationally identical; the exhaustive bit-identical check over
-  all workloads lives in tests/harrier/test_blockcache_differential.py).
+  all workloads lives in tests/harrier/test_blockcache_differential.py);
+* a 4-worker fleet over the full 62-workload sweep is not bit-identical
+  to the serial sweep, or (on hosts with >= :data:`FLEET_WORKERS` CPUs)
+  not at least :data:`FLEET_SPEEDUP` faster.
 
 Designed for CI::
 
@@ -23,10 +26,13 @@ test, not a benchmark — the real numbers live in
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
 from benchmarks.bench_performance import run_workload
+from repro.fleet import run_fleet, workload_refs
 
 #: Paired runs per engine (interleaved to cancel thermal/load drift).
 REPS = 5
@@ -40,6 +46,13 @@ NOISE_MARGIN = 1.05
 #: The dataflow fast path must beat per-transfer template replay by at
 #: least this factor on the Section 9 workload (measured ~1.4x).
 FASTPATH_SPEEDUP = 1.3
+
+#: Fleet gate: workers used, required speedup over the serial sweep, and
+#: how many times the 62-workload table is repeated so process spawn and
+#: queue overhead amortize into the measurement.
+FLEET_WORKERS = 4
+FLEET_SPEEDUP = 2.0
+FLEET_REPS = 3
 
 
 def measure(name_a: str, name_b: str) -> tuple:
@@ -124,8 +137,59 @@ def check_fastpath() -> int:
     return 0
 
 
+def check_fleet() -> int:
+    """Sharded == serial bit-for-bit; >= FLEET_SPEEDUP on real cores."""
+    refs = workload_refs() * FLEET_REPS
+    serial = run_fleet(refs, workers=1)
+    fleet = run_fleet(refs, workers=FLEET_WORKERS)
+    for report in (serial, fleet):
+        if report.failures:
+            print(
+                "FAIL: fleet sweep had failing runs: "
+                f"{[r.name for r in report.failures]}",
+                file=sys.stderr,
+            )
+            return 1
+    if json.dumps(serial.reports, sort_keys=True, default=str) != (
+        json.dumps(fleet.reports, sort_keys=True, default=str)
+    ):
+        print(
+            "FAIL: sharded fleet reports are not bit-identical to the "
+            "serial sweep",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = (
+        serial.wall_seconds / fleet.wall_seconds
+        if fleet.wall_seconds else float("inf")
+    )
+    print(
+        f"perf smoke: fleet serial={serial.wall_seconds * 1000:.0f} ms "
+        f"{FLEET_WORKERS} workers={fleet.wall_seconds * 1000:.0f} ms "
+        f"speedup={speedup:.2f}x ({len(refs)} runs, bit-identical)"
+    )
+    cpus = os.cpu_count() or 1
+    if cpus < FLEET_WORKERS:
+        print(
+            f"note: host has {cpus} CPU(s) < {FLEET_WORKERS} workers; "
+            f"the {FLEET_SPEEDUP}x fleet speedup gate only applies on "
+            "multi-core runners"
+        )
+        return 0
+    if speedup < FLEET_SPEEDUP:
+        print(
+            f"FAIL: fleet speedup {speedup:.2f}x is below the "
+            f"{FLEET_SPEEDUP}x gate on a {cpus}-CPU host",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: fleet sweep scales (>= {FLEET_SPEEDUP}x) and is "
+          "bit-identical to serial")
+    return 0
+
+
 def main() -> int:
-    return check_block_cache() or check_fastpath()
+    return check_block_cache() or check_fastpath() or check_fleet()
 
 
 if __name__ == "__main__":

@@ -18,15 +18,24 @@ The paper's substrate (x86 + PIN + Linux + CLIPS) is replaced by simulated
 equivalents — see DESIGN.md for the substitution map.
 """
 
-from repro.core import HTH, RunReport, Verdict, run_monitored
+from repro.core import (
+    EngineCache,
+    HTH,
+    RunOptions,
+    RunReport,
+    Verdict,
+    run_monitored,
+)
 from repro.harrier import Harrier, HarrierConfig
 from repro.secpert import PolicyConfig, Secpert, SecurityWarning, Severity
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HTH",
     "run_monitored",
+    "RunOptions",
+    "EngineCache",
     "RunReport",
     "Verdict",
     "Harrier",

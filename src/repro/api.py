@@ -1,0 +1,158 @@
+"""repro.api — the one-import facade over the whole stack.
+
+Benchmarks, tests, the CLI, and the fleet worker entrypoint used to
+import five internal modules each (``repro.core.hth``,
+``repro.harrier.config``, ``repro.telemetry``, ``repro.faultinject``,
+``repro.isa.assembler``) just to run one guest.  This module collapses
+that to::
+
+    from repro.api import Session, RunOptions
+
+    session = Session(RunOptions(metrics=True))
+    report = session.run(program_image)           # or a source string
+    report = session.run_workload(workload)       # a registry row
+
+A :class:`Session` is a *warm* execution context: it owns an
+:class:`~repro.core.engine.EngineCache` (translated-block store +
+tag-set interner + assemble memo) that every run it makes reuses.  One
+fleet worker builds one Session per shard; sweeps and benchmarks get
+the same reuse for free.  Machines are still fresh per run — a Session
+never shares kernel, filesystem, monitor, or analyzer state between
+runs, so reports remain bit-identical to cold, one-shot execution
+(``tests/harrier/test_blockcache_differential.py`` and the fleet
+determinism suite hold that line).
+
+Module-level :func:`run` / :func:`run_workload` are one-shot
+conveniences that build a throwaway Session.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.core.engine import EngineCache
+from repro.core.hth import HTH
+from repro.core.options import RunOptions
+from repro.core.report import RunReport
+from repro.isa.image import Image
+from repro.programs.base import Workload
+from repro.telemetry import Telemetry
+
+SetupFn = Callable[[HTH], None]
+
+
+class Session:
+    """A warm run context: one options default + one engine cache.
+
+    ``options`` set the session-wide defaults; every ``run*`` call may
+    override them for that run.  ``telemetry`` (optional) is a *shared*
+    hub sampled by every run — pass it when aggregating one registry
+    across a sweep (``repro table --metrics``).  Without a shared hub,
+    runs whose options request telemetry get a fresh hub each, and its
+    snapshot travels inside the returned report — the shape the fleet
+    coordinator merges.
+    """
+
+    def __init__(
+        self,
+        options: Optional[RunOptions] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.options = options if options is not None else RunOptions()
+        self.telemetry = telemetry
+        self.engine = EngineCache()
+        self.runs = 0
+
+    # -- machine building --------------------------------------------------
+    def machine(
+        self,
+        options: Optional[RunOptions] = None,
+        telemetry: Optional[Telemetry] = None,
+        fault_injector=None,
+        setup: Optional[SetupFn] = None,
+    ) -> HTH:
+        """A fresh monitored machine wired to this session's warm engine."""
+        options = options if options is not None else self.options
+        hth = HTH(
+            telemetry=telemetry if telemetry is not None else self.telemetry,
+            fault_injector=fault_injector,
+            options=options,
+            engine=self.engine,
+        )
+        if setup is not None:
+            setup(hth)
+        return hth
+
+    # -- running -----------------------------------------------------------
+    def run(
+        self,
+        program: Union[str, Image],
+        argv: Optional[Sequence[str]] = None,
+        env: Optional[Dict[str, str]] = None,
+        stdin: Optional[Union[str, bytes]] = None,
+        setup: Optional[SetupFn] = None,
+        options: Optional[RunOptions] = None,
+        telemetry: Optional[Telemetry] = None,
+        path: Optional[str] = None,
+    ) -> RunReport:
+        """Run one guest program and report.
+
+        ``program`` is an assembled :class:`Image` or assembly source
+        text (assembled through the warm memo as ``path``, default
+        ``/bin/guest``).  ``setup(hth)`` runs before the guest — seed
+        files, register peers, provide input.
+        """
+        if isinstance(program, str):
+            program = self.engine.image(path or "/bin/guest", program)
+        hth = self.machine(
+            options=options, telemetry=telemetry, setup=setup
+        )
+        self.runs += 1
+        return hth.run(program, argv=argv, env=env, stdin=stdin)
+
+    def run_workload(
+        self,
+        workload: Workload,
+        options: Optional[RunOptions] = None,
+        telemetry: Optional[Telemetry] = None,
+        fault_injector=None,
+        wall_timeout: Optional[float] = None,
+    ) -> RunReport:
+        """Run one registry :class:`Workload` (its setup/argv/stdin/budgets
+        included) on this session's warm engine."""
+        options = options if options is not None else self.options
+        self.runs += 1
+        return workload.run(
+            telemetry=telemetry if telemetry is not None else self.telemetry,
+            fault_injector=fault_injector,
+            wall_timeout=wall_timeout,
+            options=options,
+            engine=self.engine,
+        )
+
+
+def run(
+    program: Union[str, Image],
+    options: Optional[RunOptions] = None,
+    **kwargs,
+) -> RunReport:
+    """One-shot :meth:`Session.run` on a throwaway session."""
+    return Session(options).run(program, **kwargs)
+
+
+def run_workload(
+    workload: Workload,
+    options: Optional[RunOptions] = None,
+    **kwargs,
+) -> RunReport:
+    """One-shot :meth:`Session.run_workload` on a throwaway session."""
+    return Session(options).run_workload(workload, **kwargs)
+
+
+__all__ = [
+    "Session",
+    "RunOptions",
+    "RunReport",
+    "run",
+    "run_workload",
+]

@@ -16,6 +16,9 @@ Usage (also via ``python -m repro``)::
     # reproduce a paper table
     python -m repro table 6
 
+    # the full 62-workload sweep, sharded over 4 worker processes
+    python -m repro fleet --workers 4
+
     # chaos stability: Table 8 exploits under 10 fault schedules
     python -m repro chaos --table 8 --trials 10
 
@@ -39,8 +42,16 @@ from typing import Optional, Sequence
 
 from repro.analysis.instrumentation import render_listing
 from repro.analysis.secure_binary import check_secure_binary
+from repro.api import Session
 from repro.core.hth import HTH
+from repro.core.options import RunOptions
 from repro.core.report import RunReport
+from repro.fleet.refs import (
+    REGISTRIES,
+    WorkloadRef,
+    registry_workloads,
+    workload_refs,
+)
 from repro.harrier.config import HarrierConfig
 from repro.isa.assembler import AssemblyError, assemble
 from repro.kernel.network import ConversationPeer, SinkPeer
@@ -115,6 +126,15 @@ def _build_telemetry(
     return Telemetry.enabled(trace=bool(trace), profile=profile)
 
 
+def _begin_track(
+    telemetry: Optional[Telemetry], label: str
+) -> Optional[Telemetry]:
+    """Open a new trace track for one machine, pass the hub through."""
+    if telemetry is not None and telemetry.tracer is not None:
+        telemetry.tracer.begin_track(label)
+    return telemetry
+
+
 def _emit_telemetry(
     telemetry: Optional[Telemetry], args: argparse.Namespace
 ) -> None:
@@ -133,6 +153,16 @@ def _emit_telemetry(
         )
 
 
+def _run_options(args: argparse.Namespace, **overrides) -> RunOptions:
+    """Fold the shared CLI execution flags into a :class:`RunOptions`."""
+    return RunOptions(
+        block_cache=not getattr(args, "no_block_cache", False),
+        taint_fastpath=not getattr(args, "no_taint_fastpath", False),
+        max_ticks=getattr(args, "max_ticks", None) or 5_000_000,
+        **overrides,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     image = _load_image(args.source, args.path)
     config = HarrierConfig(
@@ -141,18 +171,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         complete_dataflow=not args.incomplete_dataflow,
     )
     telemetry = _build_telemetry(args)
-    hth = HTH(
-        harrier_config=config,
-        telemetry=telemetry,
-        block_cache=not args.no_block_cache,
-        taint_fastpath=not args.no_taint_fastpath,
+    session = Session(
+        _run_options(args, harrier_config=config), telemetry=telemetry
     )
-    _apply_run_setup(hth, args)
-    report = hth.run(
+    report = session.run(
         image,
         argv=[image.name] + list(args.arg or ()),
         stdin=args.stdin,
-        max_ticks=args.max_ticks,
+        setup=lambda hth: _apply_run_setup(hth, args),
     )
     _print_report(report, args.events)
     _emit_telemetry(telemetry, args)
@@ -176,35 +202,21 @@ def cmd_instrument(args: argparse.Namespace) -> int:
     return 0
 
 
-_TABLE_BENCHES = {
-    "4": ("repro.programs.micro.execflow", "table4_workloads"),
-    "5": ("repro.programs.micro.resource", "table5_workloads"),
-    "6": ("repro.programs.micro.infoflow", "table6_workloads"),
-    "7": ("repro.programs.trusted.registry", "table7_workloads"),
-    "8": ("repro.programs.exploits.registry", "table8_workloads"),
-    "macro": ("repro.programs.macro.registry", "macro_workloads"),
-    "ext": ("repro.programs.extensions", "extension_workloads"),
-    "scenarios": ("repro.programs.scenarios", "scenario_workloads"),
-}
+# The registry map moved to repro.fleet.refs (the fleet engine and the
+# benchmark harnesses need it too); kept here as the historical alias.
+_TABLE_BENCHES = REGISTRIES
 
 
 def cmd_table(args: argparse.Namespace) -> int:
-    import importlib
-
-    module_name, factory_name = _TABLE_BENCHES[args.number]
-    module = importlib.import_module(module_name)
-    workloads = getattr(module, factory_name)()
+    workloads = registry_workloads(args.number)
     telemetry = _build_telemetry(args)
+    session = Session(_run_options(args), telemetry=telemetry)
     width = max(len(w.name) for w in workloads)
     failures = 0
     for workload in workloads:
         if telemetry is not None and telemetry.tracer is not None:
             telemetry.tracer.begin_track(workload.name)
-        report = workload.run(
-            telemetry=telemetry,
-            block_cache=not args.no_block_cache,
-            taint_fastpath=not args.no_taint_fastpath,
-        )
+        report = session.run_workload(workload)
         ok = workload.classified_correctly(report)
         failures += not ok
         rules = ",".join(sorted({w.rule for w in report.warnings})) or "-"
@@ -235,11 +247,7 @@ def _chaos_profile(args: argparse.Namespace):
 
 
 def _chaos_workloads(args: argparse.Namespace):
-    import importlib
-
-    module_name, factory_name = _TABLE_BENCHES[args.table]
-    module = importlib.import_module(module_name)
-    workloads = getattr(module, factory_name)()
+    workloads = registry_workloads(args.table)
     if args.workload:
         wanted = set(args.workload)
         workloads = [w for w in workloads if w.name in wanted]
@@ -254,7 +262,7 @@ def _chaos_workloads(args: argparse.Namespace):
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Replay paper scenarios under deterministic fault schedules."""
-    from repro.faultinject import chaos_seeds, run_chaos
+    from repro.faultinject import chaos_seeds, run_chaos, run_chaos_suite
 
     profile = _chaos_profile(args)
     workloads = _chaos_workloads(args)
@@ -268,18 +276,38 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     # classification.
     assert_verdicts = args.profile == "transparent"
 
+    if args.workers > 1 and args.seed is None:
+        # Shard the (workload × seed) grid over a fleet.  Telemetry
+        # output stays a serial-mode feature: per-run hubs cannot feed
+        # the one shared tracer the flags expect.
+        if telemetry is not None:
+            print("note: --trace/--metrics are ignored with --workers > 1",
+                  file=sys.stderr)
+            telemetry = None
+        results = run_chaos_suite(
+            [WorkloadRef(*REGISTRIES[args.table], name=w.name)
+             for w in workloads],
+            base_seed=args.base_seed,
+            trials=args.trials,
+            profile=profile,
+            wall_timeout=args.wall_timeout,
+            workers=args.workers,
+        )
+    else:
+        results = [
+            run_chaos(
+                workload,
+                seeds,
+                profile,
+                wall_timeout=args.wall_timeout,
+                telemetry=_begin_track(telemetry, workload.name),
+            )
+            for workload in workloads
+        ]
+
     width = max(len(w.name) for w in workloads)
     failures = 0
-    for workload in workloads:
-        if telemetry is not None and telemetry.tracer is not None:
-            telemetry.tracer.begin_track(workload.name)
-        result = run_chaos(
-            workload,
-            seeds,
-            profile,
-            wall_timeout=args.wall_timeout,
-            telemetry=telemetry,
-        )
+    for workload, result in zip(workloads, results):
         verdicts = ",".join(sorted({v.value for v in result.verdicts}))
         if assert_verdicts:
             ok = result.stable
@@ -312,17 +340,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     telemetry = Telemetry.enabled(
         trace=bool(getattr(args, "trace", None)), profile=True
     )
-    hth = HTH(
-        telemetry=telemetry,
-        block_cache=not args.no_block_cache,
-        taint_fastpath=not args.no_taint_fastpath,
-    )
-    _apply_run_setup(hth, args)
-    report = hth.run(
+    session = Session(_run_options(args), telemetry=telemetry)
+    report = session.run(
         image,
         argv=[image.name] + list(args.arg or ()),
         stdin=args.stdin,
-        max_ticks=args.max_ticks,
+        setup=lambda hth: _apply_run_setup(hth, args),
     )
     print(report.summary_line())
     print()
@@ -342,8 +365,6 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Run every evaluation table and write one consolidated report."""
-    import importlib
-
     lines = [
         "# HTH reproduction report",
         "",
@@ -352,17 +373,16 @@ def cmd_report(args: argparse.Namespace) -> int:
     ]
     rows = []
     failures = 0
+    session = Session()
     for key in ("4", "5", "6", "7", "8", "macro", "ext", "scenarios"):
-        module_name, factory_name = _TABLE_BENCHES[key]
-        module = importlib.import_module(module_name)
-        workloads = getattr(module, factory_name)()
+        workloads = registry_workloads(key)
         title = f"Table {key}" if key.isdigit() else key
         lines.append(f"## {title}")
         lines.append("")
         lines.append("| benchmark | expected | measured | rules | match |")
         lines.append("|---|---|---|---|---|")
         for workload in workloads:
-            report = workload.run()
+            report = session.run_workload(workload)
             ok = workload.classified_correctly(report)
             failures += not ok
             fired = sorted({w.rule for w in report.warnings})
@@ -396,6 +416,59 @@ def cmd_report(args: argparse.Namespace) -> int:
     ) + "\n")
     print(f"wrote {out_path} and {json_path} ({failures} mismatches)")
     return 1 if failures else 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Shard a workload sweep across worker processes (``repro fleet``)."""
+    from repro.fleet import run_fleet, write_fleet_trace
+    from repro.telemetry import render_samples
+
+    refs = workload_refs(args.table or None)
+    if args.workload:
+        wanted = set(args.workload)
+        refs = [r for r in refs if r.name in wanted]
+        missing = wanted - {r.name for r in refs}
+        if missing:
+            raise SystemExit(f"unknown workload(s) {sorted(missing)}")
+    if not refs:
+        raise SystemExit("no workloads selected")
+    options = _run_options(args).replaced(
+        metrics=bool(args.metrics),
+        trace=bool(args.trace),
+    )
+    fleet = run_fleet(
+        refs,
+        options=options,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        max_retries=args.max_retries,
+    )
+    width = max(len(r.name) for r in fleet.runs)
+    for record in fleet.runs:
+        verdict = record.verdict or "-"
+        if record.failed:
+            mark = "ERROR"
+        elif record.ok:
+            mark = "ok "
+        else:
+            mark = "MISMATCH"
+        extras = f" retried={','.join(record.retries)}" if record.retries \
+            else ""
+        print(f"{record.name:{width}s}  {verdict:7s} "
+              f"worker={record.worker}  {mark}{extras}")
+    print(fleet.summary_line())
+    if args.metrics and fleet.telemetry is not None:
+        print("\n--- fleet telemetry metrics (merged) ---")
+        print(render_samples(fleet.telemetry.metrics))
+    if args.trace:
+        write_fleet_trace(args.trace, fleet.runs)
+        span_total = sum(len(r.spans or ()) for r in fleet.runs)
+        print(f"wrote {args.trace} ({span_total} spans)")
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.write_text(fleet.to_json() + "\n")
+        print(f"wrote {out}")
+    return 1 if fleet.failures else 0
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -513,8 +586,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-run watchdog in real seconds")
     chaos.add_argument("--show-faults", action="store_true",
                        help="dump every injected fault per trial")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="shard the (workload x seed) grid over this "
+                            "many worker processes (default: 1, serial)")
     _add_telemetry_options(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="shard a workload sweep across worker processes",
+    )
+    fleet.add_argument("--table", action="append",
+                       choices=sorted(_TABLE_BENCHES), metavar="KEY",
+                       help="registry to include (repeat; default: every "
+                            "table, 62 workloads)")
+    fleet.add_argument("--workload", action="append", metavar="NAME",
+                       help="restrict to named workload(s) (repeat)")
+    fleet.add_argument("--workers", type=int, default=4,
+                       help="worker processes (default: 4; clamped to "
+                            "the task count)")
+    fleet.add_argument("--shard-by",
+                       choices=("interleave", "chunk", "name"),
+                       default="interleave",
+                       help="shard strategy (default: interleave)")
+    fleet.add_argument("--max-retries", type=int, default=1,
+                       help="retries per run on watchdog/monitor-fault "
+                            "outcomes (default: 1)")
+    fleet.add_argument("--no-block-cache", action="store_true",
+                       help="run workloads on the per-instruction "
+                            "interpreter instead of the block cache")
+    fleet.add_argument("--no-taint-fastpath", action="store_true",
+                       help="disable the zero-taint dataflow fast path")
+    fleet.add_argument("--json", metavar="FILE",
+                       help="write the merged FleetReport as JSON")
+    _add_telemetry_options(fleet)
+    fleet.set_defaults(func=cmd_fleet)
 
     profile = sub.add_parser(
         "profile",

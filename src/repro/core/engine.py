@@ -1,0 +1,78 @@
+"""EngineCache: warm execution-engine state reused across runs.
+
+One :class:`~repro.core.hth.HTH` instance models one machine and lives
+for one run, so by construction every run used to retranslate every
+basic block and re-intern every tag set from scratch.  Sweeps (the §9
+table, the 62-workload differential suite, chaos seed trials, fleet
+shards) run the *same images* over and over — an ideal reuse target,
+because the block translation cache and the tag-set interner are pure
+performance substrates whose contents never leak into observable run
+output (proven by ``tests/harrier/test_blockcache_differential.py``).
+
+An :class:`EngineCache` owns that reusable state:
+
+* a :class:`~repro.harrier.blockcache.BlockCacheStore` keyed by exact
+  code-layout identity, so a second run of the same image starts with
+  every block already translated;
+* a shared :class:`~repro.taint.tags.TagSetInterner`, so hash-consed
+  tag sets and the union memo stay warm across the sweep;
+* an assemble memo handing out images that share their (immutable)
+  text tuple while copying the mutable ``data``/``symbols`` containers
+  — the same defensive-copy pattern as
+  :func:`repro.core.hth.stub_binary`, and the thing that makes the
+  layout keys of the block-cache store stable across runs.
+
+Sharing an EngineCache is what "each fleet worker owns a warm
+BlockCache/TagSetInterner reused across its shard" means concretely:
+:class:`repro.api.Session` creates one and threads it into every HTH it
+builds.  An EngineCache must only ever be used from one process/thread
+at a time (fleet workers each build their own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.harrier.blockcache import BlockCacheStore
+from repro.isa.assembler import assemble
+from repro.isa.image import Image
+from repro.taint.tags import TagSetInterner
+
+
+class EngineCache:
+    """Warm, observably-transparent engine state shared across runs."""
+
+    def __init__(self) -> None:
+        #: Layout-keyed store of translated-block caches (see
+        #: :class:`BlockCacheStore` for the key discipline).
+        self.block_caches = BlockCacheStore()
+        #: Shared hash-consing table + union memo for taint tag sets.
+        self.interner = TagSetInterner()
+        #: (path, source) -> assembled template image.
+        self._images: Dict[Tuple[str, str], Image] = {}
+
+    def image(self, path: str, source: str) -> Image:
+        """Assemble ``source`` as ``path``, memoized per session.
+
+        Every call returns an image with its own mutable containers so
+        one machine's loader state can never leak into another; the
+        text tuple (frozen instructions) is shared, which both avoids
+        re-assembly and keeps ``id(image.text)`` — the block-cache
+        store's layout key — stable across the session's runs.
+        """
+        key = (path, source)
+        template = self._images.get(key)
+        if template is None:
+            template = self._images[key] = assemble(path, source)
+        return replace(
+            template,
+            data=dict(template.data),
+            symbols=dict(template.symbols),
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate warm-cache statistics (sweep diagnostics)."""
+        stats = self.block_caches.stats()
+        stats["images"] = len(self._images)
+        return stats

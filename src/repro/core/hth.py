@@ -18,6 +18,7 @@ from dataclasses import replace
 from functools import lru_cache
 from typing import Dict, Optional, Sequence, TYPE_CHECKING, Union
 
+from repro.core.options import RunOptions, UNSET, fold_legacy_flags
 from repro.core.report import RunReport, Verdict
 from repro.harrier.analyzer import DecisionPolicy, always_continue
 from repro.harrier.config import HarrierConfig
@@ -34,6 +35,7 @@ from repro.secpert.secpert import Secpert
 from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import EngineCache
     from repro.faultinject.injector import FaultInjector
 
 #: Paths commonly exec'd by the paper's workloads; HTH pre-registers tiny
@@ -91,10 +93,21 @@ class HTH:
         analyzer=None,
         fault_injector: Optional["FaultInjector"] = None,
         telemetry: Optional[Telemetry] = None,
-        block_cache: bool = True,
-        taint_fastpath: bool = True,
+        block_cache: bool = UNSET,
+        taint_fastpath: bool = UNSET,
+        options: Optional[RunOptions] = None,
+        engine: Optional["EngineCache"] = None,
     ) -> None:
-        self.policy = policy or PolicyConfig()
+        # ``options`` is the one configuration object (see RunOptions);
+        # the historical boolean kwargs keep working via the shim.
+        options = fold_legacy_flags(
+            "HTH", options,
+            block_cache=block_cache, taint_fastpath=taint_fastpath,
+        )
+        self.options = options
+        self.policy = policy or options.policy or PolicyConfig()
+        if telemetry is None:
+            telemetry = options.make_telemetry()
         self.telemetry = telemetry if telemetry is not None else (
             Telemetry.disabled()
         )
@@ -107,8 +120,8 @@ class HTH:
         self.secpert = self.analyzer if isinstance(
             self.analyzer, Secpert
         ) else getattr(self.analyzer, "secpert", None)
-        config = harrier_config or HarrierConfig()
-        if not taint_fastpath and config.taint_fastpath:
+        config = harrier_config or options.harrier_config or HarrierConfig()
+        if not options.taint_fastpath and config.taint_fastpath:
             # The escape hatch only ever *disables* the fast path; an
             # explicit HarrierConfig(taint_fastpath=False) always wins.
             config = replace(config, taint_fastpath=False)
@@ -116,16 +129,22 @@ class HTH:
             analyzer=self.analyzer,
             config=config,
             decision=decision,
+            interner=engine.interner if engine is not None else None,
         )
         libs = list(libraries) if libraries is not None else [libc_image()]
         hooks = self.harrier if monitored else None
+        if fault_injector is None:
+            fault_injector = options.make_fault_injector()
         self.fault_injector = fault_injector
         self.kernel = Kernel(
             hooks=hooks,
             libraries=libs,
             fault_injector=fault_injector,
             telemetry=self.telemetry,
-            use_block_cache=block_cache,
+            use_block_cache=options.block_cache,
+            block_cache_store=(
+                engine.block_caches if engine is not None else None
+            ),
         )
         self.harrier.bind(self.kernel)
         self.harrier.attach_telemetry(self.telemetry)
@@ -162,10 +181,18 @@ class HTH:
         argv: Optional[Sequence[str]] = None,
         env: Optional[Dict[str, str]] = None,
         stdin: Optional[Union[str, bytes]] = None,
-        max_ticks: int = 5_000_000,
+        max_ticks: Optional[int] = None,
         wall_timeout: Optional[float] = None,
     ) -> RunReport:
-        """Spawn ``program``, run to completion, and report."""
+        """Spawn ``program``, run to completion, and report.
+
+        ``max_ticks``/``wall_timeout`` default to the budgets carried by
+        this machine's :class:`RunOptions`.
+        """
+        if max_ticks is None:
+            max_ticks = self.options.max_ticks
+        if wall_timeout is None:
+            wall_timeout = self.options.wall_timeout
         if stdin is not None:
             self.provide_input(stdin)
         self.kernel.write_hosts_file()
@@ -212,25 +239,31 @@ def run_monitored(
     policy: Optional[PolicyConfig] = None,
     harrier_config: Optional[HarrierConfig] = None,
     decision: DecisionPolicy = always_continue,
-    max_ticks: int = 5_000_000,
+    max_ticks: Optional[int] = None,
     fault_injector: Optional["FaultInjector"] = None,
     wall_timeout: Optional[float] = None,
     telemetry: Optional[Telemetry] = None,
-    block_cache: bool = True,
-    taint_fastpath: bool = True,
+    block_cache: bool = UNSET,
+    taint_fastpath: bool = UNSET,
+    options: Optional[RunOptions] = None,
+    engine: Optional["EngineCache"] = None,
 ) -> RunReport:
     """One-shot convenience: build an HTH machine, run, report.
 
     ``setup(hth)`` runs before the program (seed files, register peers...).
     """
+    options = fold_legacy_flags(
+        "run_monitored", options,
+        block_cache=block_cache, taint_fastpath=taint_fastpath,
+    )
     hth = HTH(
         policy=policy,
         harrier_config=harrier_config,
         decision=decision,
         fault_injector=fault_injector,
         telemetry=telemetry,
-        block_cache=block_cache,
-        taint_fastpath=taint_fastpath,
+        options=options,
+        engine=engine,
     )
     if setup is not None:
         setup(hth)

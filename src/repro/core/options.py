@@ -1,0 +1,145 @@
+"""RunOptions: the single run-configuration object for the whole stack.
+
+Every layer that executes a guest — :class:`repro.core.hth.HTH`, a
+:class:`repro.programs.base.Workload`, the CLI, and the fleet engine —
+historically grew its own ad-hoc keyword arguments (``block_cache=``,
+``taint_fastpath=``, telemetry hubs, fault injectors, tick budgets).
+:class:`RunOptions` replaces that sprawl with one frozen, picklable
+value object:
+
+* it travels unchanged from a CLI invocation through
+  :class:`repro.api.Session` into ``HTH`` — and, because it pickles,
+  across process boundaries into fleet workers;
+* it is *configuration only*: stateful collaborators (an already-built
+  :class:`~repro.telemetry.Telemetry` hub, a shared
+  :class:`~repro.core.engine.EngineCache`) stay separate arguments, and
+  the factories here (:meth:`RunOptions.make_telemetry`,
+  :meth:`RunOptions.make_fault_injector`) build *fresh* per-run state so
+  two runs with the same options are independent and deterministic.
+
+The old boolean kwargs keep working through :func:`fold_legacy_flags`,
+which folds them into a ``RunOptions`` while emitting a
+``DeprecationWarning`` (covered by ``tests/core/test_options.py``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, TYPE_CHECKING
+
+from repro.harrier.config import HarrierConfig
+from repro.secpert.policy import PolicyConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faultinject.injector import FaultInjector
+    from repro.faultinject.plan import FaultProfile
+    from repro.telemetry import Telemetry
+
+#: Sentinel distinguishing "caller never passed the kwarg" from an
+#: explicit None/False — the deprecation shims need the difference.
+UNSET = object()
+
+#: Default virtual-time budget for one run (matches the historical
+#: ``HTH.run(max_ticks=...)`` default).
+DEFAULT_MAX_TICKS = 5_000_000
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything that configures one monitored run.
+
+    Frozen and picklable: fleet workers receive the coordinator's
+    options verbatim, so a sharded run is configured bit-for-bit like
+    its serial twin.
+    """
+
+    #: Security policy; ``None`` means the default :class:`PolicyConfig`.
+    policy: Optional[PolicyConfig] = None
+    #: Monitor configuration; ``None`` means the default
+    #: :class:`HarrierConfig` (or the workload's own override).
+    harrier_config: Optional[HarrierConfig] = None
+    #: Execute through the block translation cache (PIN's code cache).
+    block_cache: bool = True
+    #: Use the zero-taint dataflow fast path.
+    taint_fastpath: bool = True
+    #: Collect a metrics registry for the run.
+    metrics: bool = False
+    #: Collect a span trace (implies a metrics registry).
+    trace: bool = False
+    #: Collect the live §8/§9 stage profile (implies a registry).
+    profile: bool = False
+    #: Deterministic chaos: a fault profile plus its schedule seed.  A
+    #: fresh :class:`FaultInjector` is built per run, so retries and
+    #: replays see the exact same schedule.
+    fault_profile: Optional["FaultProfile"] = None
+    fault_seed: int = 0
+    #: Budgets: virtual-time tick limit and the wall-clock watchdog.
+    max_ticks: int = DEFAULT_MAX_TICKS
+    wall_timeout: Optional[float] = None
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def wants_telemetry(self) -> bool:
+        return bool(self.metrics or self.trace or self.profile)
+
+    # -- factories (fresh state per run) -----------------------------------
+    def make_telemetry(self) -> Optional["Telemetry"]:
+        """A fresh enabled hub when any telemetry flag is set, else None."""
+        if not self.wants_telemetry:
+            return None
+        from repro.telemetry import Telemetry
+
+        return Telemetry.enabled(trace=self.trace, profile=self.profile)
+
+    def make_fault_injector(self) -> Optional["FaultInjector"]:
+        """A fresh seeded injector when a fault profile is configured."""
+        if self.fault_profile is None:
+            return None
+        from repro.faultinject.injector import FaultInjector
+
+        return FaultInjector(profile=self.fault_profile, seed=self.fault_seed)
+
+    # -- evolution ---------------------------------------------------------
+    def replaced(self, **changes: object) -> "RunOptions":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def with_faults(
+        self, profile: "FaultProfile", seed: int
+    ) -> "RunOptions":
+        return replace(self, fault_profile=profile, fault_seed=seed)
+
+
+def fold_legacy_flags(
+    where: str,
+    options: Optional[RunOptions],
+    *,
+    block_cache: object = UNSET,
+    taint_fastpath: object = UNSET,
+    stacklevel: int = 3,
+) -> RunOptions:
+    """Fold deprecated boolean kwargs into a :class:`RunOptions`.
+
+    The historical ``block_cache=`` / ``taint_fastpath=`` keyword
+    arguments on ``HTH``, ``Workload.run`` and ``run_monitored`` keep
+    working, but emit a :class:`DeprecationWarning` pointing at the
+    replacement.  An explicitly passed legacy flag overrides the same
+    field of ``options`` (the caller who types the kwarg wins).
+    """
+    options = options if options is not None else RunOptions()
+    legacy = {}
+    if block_cache is not UNSET:
+        legacy["block_cache"] = bool(block_cache)
+    if taint_fastpath is not UNSET:
+        legacy["taint_fastpath"] = bool(taint_fastpath)
+    if legacy:
+        names = ", ".join(legacy)
+        warnings.warn(
+            f"{where}: the {names} keyword argument(s) are deprecated; "
+            f"pass options=RunOptions({names}...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        options = replace(options, **legacy)
+    return options

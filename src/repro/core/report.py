@@ -12,6 +12,12 @@ from repro.kernel.kernel import RunResult
 from repro.secpert.warnings import SecurityWarning, Severity
 from repro.telemetry import TelemetrySnapshot
 
+#: Version of the ``RunReport.to_dict()`` wire format.  Fleet result
+#: streams and archived report JSON carry this so consumers can detect
+#: and adapt to schema evolution; bump it on any breaking change to the
+#: dict layout and document the change in ``docs/observability.md``.
+REPORT_SCHEMA_VERSION = 1
+
 
 class Verdict(enum.Enum):
     """Classification of one monitored run by its strongest warning."""
@@ -105,6 +111,7 @@ class RunReport:
         """The whole report as JSON-ready primitives (machine-readable
         twin of the markdown report; ``repro report`` writes both)."""
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "program": self.program,
             "argv": list(self.argv),
             "verdict": self.verdict.value,
@@ -133,6 +140,7 @@ class RunReport:
             "faults": [list(f) for f in self.faults],
             "fault_seed": self.fault_seed,
             "injected_fault_count": len(self.injected_faults),
+            "injected_faults": [str(f) for f in self.injected_faults],
             "monitor_faults": [str(f) for f in self.monitor_faults],
             "quarantined_rules": list(self.quarantined_rules),
             "degraded": self.degraded,

@@ -47,6 +47,8 @@ class ChaosTrial:
     verdict: Verdict
     rules: Tuple[str, ...]
     reason: str                      # RunResult.reason
+    #: InjectedFault records in delivery order — their string forms when
+    #: the trial was rebuilt from a fleet wire record.
     faults: List[InjectedFault]
     classified_correctly: bool
     degraded: bool
@@ -99,6 +101,32 @@ def run_one(
     )
 
 
+def _trial_from_record(record, seed: int) -> ChaosTrial:
+    """Rebuild one :class:`ChaosTrial` from a fleet wire record."""
+    report = record.report
+    if report is None:
+        # Worker died or the run raised: surface as a wedged trial so
+        # the suite reports it instead of silently dropping the seed.
+        return ChaosTrial(
+            seed=seed,
+            verdict=Verdict.BENIGN,
+            rules=(),
+            reason="error",
+            faults=[],
+            classified_correctly=False,
+            degraded=True,
+        )
+    return ChaosTrial(
+        seed=seed,
+        verdict=Verdict(report["verdict"]),
+        rules=tuple(sorted({w["rule"] for w in report["warnings"]})),
+        reason=report["result"]["reason"],
+        faults=list(report["injected_faults"]),
+        classified_correctly=bool(record.ok),
+        degraded=bool(report["degraded"]),
+    )
+
+
 def run_chaos(
     workload: Workload,
     seeds: Sequence[int],
@@ -136,10 +164,83 @@ def run_chaos_suite(
     trials: int = 10,
     profile: FaultProfile = TRANSPARENT_PROFILE,
     wall_timeout: Optional[float] = DEFAULT_WALL_TIMEOUT,
+    workers: int = 1,
+    shard_by: str = "name",
 ) -> List[ChaosResult]:
     """The chaos stability suite: every workload under ``trials`` distinct
-    fault schedules derived from ``base_seed``."""
+    fault schedules derived from ``base_seed``.
+
+    ``workers > 1`` shards the (workload × seed) grid across a fleet of
+    processes.  Items may then be :class:`repro.fleet.WorkloadRef` or
+    registry :class:`Workload` rows (resolved to refs by name).  Results
+    are identical either way: ``(workload, profile, seed)`` determines a
+    trial bit-for-bit, the fleet merges in task order, and chaos runs are
+    never retried — a watchdog kill under faults is a *finding*, not
+    scheduling noise.
+    """
     seeds = chaos_seeds(base_seed, trials)
-    return [
-        run_chaos(w, seeds, profile, wall_timeout) for w in workloads
+    if workers > 1:
+        return _run_chaos_fleet(
+            workloads, seeds, profile, wall_timeout, workers, shard_by
+        )
+    resolved = [
+        w if isinstance(w, Workload) else w.resolve() for w in workloads
     ]
+    return [
+        run_chaos(w, seeds, profile, wall_timeout) for w in resolved
+    ]
+
+
+def _run_chaos_fleet(
+    workloads,
+    seeds: Sequence[int],
+    profile: FaultProfile,
+    wall_timeout: Optional[float],
+    workers: int,
+    shard_by: str,
+) -> List[ChaosResult]:
+    """Fan the (workload × seed) grid out over a fleet and regroup."""
+    from repro.core.options import RunOptions
+    from repro.fleet import FleetTask, run_fleet, workload_refs
+
+    def as_ref(item):
+        if isinstance(item, Workload):
+            for ref in workload_refs():
+                if ref.name == item.name:
+                    return ref
+            raise LookupError(
+                f"workload {item.name!r} is not a registry row; pass a "
+                f"repro.fleet.WorkloadRef to run it in a chaos fleet"
+            )
+        return item
+
+    refs = [as_ref(item) for item in workloads]
+    base = RunOptions(wall_timeout=wall_timeout)
+    tasks = [
+        FleetTask(
+            index=i * len(seeds) + j,
+            ref=ref,
+            options=base.with_faults(profile, seed),
+        )
+        for i, ref in enumerate(refs)
+        for j, seed in enumerate(seeds)
+    ]
+    fleet = run_fleet(
+        tasks, workers=workers, shard_by=shard_by, max_retries=0
+    )
+    results: List[ChaosResult] = []
+    per = len(seeds)
+    for i, ref in enumerate(refs):
+        records = fleet.runs[i * per:(i + 1) * per]
+        results.append(
+            ChaosResult(
+                workload=ref.name,
+                expected=ref.resolve().expected_verdict,
+                profile=profile,
+                trials=[
+                    _trial_from_record(record, seed)
+                    for record, seed in zip(records, seeds)
+                ],
+            )
+        )
+    return results

@@ -1,0 +1,222 @@
+"""The fleet coordinator: shard, spawn, stream, merge.
+
+:func:`run_fleet` takes an ordered task list, splits it across N worker
+processes (:func:`shard`), streams per-run records off a result queue as
+they finish, and merges them — ordered by task index — into a
+:class:`FleetReport` whose per-run report dicts are bit-identical to
+running the same tasks serially with the same options.
+
+Determinism contract
+--------------------
+* Every run happens on a *fresh* machine; workers share nothing but a
+  per-process warm engine cache whose reuse is semantics-free (the
+  differential suites hold that line).
+* Records carry their task index; the coordinator sorts by it, so the
+  merged report does not depend on worker count, shard strategy, or
+  scheduling.  ``workers=1`` runs the identical code path in-process and
+  is the serial baseline the determinism tests compare against.
+* Wall-clock facts (``elapsed``, ``wall_seconds``) and scheduling facts
+  (``worker``, ``attempts``) live outside the per-run report dicts.
+
+Failure containment: a worker that dies without delivering its sentinel
+(segfault, OOM kill) costs only its unfinished tasks — the coordinator
+synthesizes error records for them and the fleet completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import zlib
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api import Session
+from repro.core.options import RunOptions
+from repro.fleet.merge import merged_telemetry
+from repro.fleet.refs import FleetTask, WorkloadRef, make_tasks
+from repro.fleet.report import FleetReport, FleetRunRecord
+from repro.fleet.worker import DEFAULT_BACKOFF, run_task_with_retry, worker_main
+
+SHARD_STRATEGIES = ("interleave", "chunk", "name")
+
+#: How long the coordinator waits on the result queue before checking
+#: worker liveness, seconds.
+_POLL_INTERVAL = 0.1
+
+
+def shard(
+    tasks: Sequence[FleetTask], workers: int, shard_by: str = "interleave"
+) -> List[List[FleetTask]]:
+    """Split tasks into per-worker shards (some may be empty).
+
+    * ``interleave`` — round-robin by task index: balances mixed-cost
+      sweeps (the default).
+    * ``chunk`` — contiguous slices: preserves registry locality, so a
+      worker's warm engine sees related workloads back to back.
+    * ``name`` — stable hash of the workload name: the same workload
+      always lands on the same worker regardless of task order (useful
+      for seed sweeps repeating each workload many times).
+    """
+    if shard_by not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {shard_by!r}; "
+            f"expected one of {SHARD_STRATEGIES}"
+        )
+    shards: List[List[FleetTask]] = [[] for _ in range(workers)]
+    if shard_by == "chunk":
+        per, extra = divmod(len(tasks), workers)
+        start = 0
+        for i in range(workers):
+            size = per + (1 if i < extra else 0)
+            shards[i] = list(tasks[start:start + size])
+            start += size
+    elif shard_by == "name":
+        for task in tasks:
+            wid = zlib.crc32(task.ref.name.encode()) % workers
+            shards[wid].append(task)
+    else:
+        for i, task in enumerate(tasks):
+            shards[i % workers].append(task)
+    return shards
+
+
+def _normalize_tasks(
+    work: Sequence[Union[FleetTask, WorkloadRef]],
+    options: Optional[RunOptions],
+) -> List[FleetTask]:
+    if all(isinstance(item, FleetTask) for item in work):
+        tasks = list(work)
+        indexes = [t.index for t in tasks]
+        if sorted(indexes) != list(range(len(tasks))):
+            raise ValueError(
+                "FleetTask indexes must be a permutation of 0..N-1"
+            )
+        return tasks
+    if any(isinstance(item, FleetTask) for item in work):
+        raise TypeError("mix of FleetTask and WorkloadRef items")
+    return make_tasks(list(work), options)
+
+
+def _run_serial(
+    tasks: List[FleetTask], max_retries: int, backoff: float
+) -> List[FleetRunRecord]:
+    """The workers=1 path: same retry loop, same warm session, in-process."""
+    session = Session()
+    records = []
+    for task in sorted(tasks, key=lambda t: t.index):
+        wire = run_task_with_retry(
+            session, task, worker_id=0,
+            max_retries=max_retries, backoff=backoff,
+        )
+        records.append(FleetRunRecord.from_wire(wire))
+    return records
+
+
+def _mp_context(name: Optional[str] = None):
+    """Fork where available (cheap, inherits the imported stack), spawn
+    otherwise; ``worker_main`` is importable so both work."""
+    if name is not None:
+        return multiprocessing.get_context(name)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _collect(
+    procs: Dict[int, "multiprocessing.process.BaseProcess"],
+    assigned: Dict[int, List[FleetTask]],
+    result_queue,
+) -> List[FleetRunRecord]:
+    """Drain the result queue until every worker finished or died."""
+    records: Dict[int, FleetRunRecord] = {}
+    done: set = set()
+    while len(done) < len(procs):
+        try:
+            msg = result_queue.get(timeout=_POLL_INTERVAL)
+        except queue_mod.Empty:
+            for wid, proc in procs.items():
+                if wid not in done and not proc.is_alive():
+                    done.add(wid)  # died without a sentinel
+            continue
+        if msg.get("kind") == "worker-done":
+            done.add(msg["worker"])
+        else:
+            records[msg["index"]] = FleetRunRecord.from_wire(msg)
+    # Synthesize error records for tasks lost to a dead worker.
+    for wid, tasks in assigned.items():
+        exit_code = procs[wid].exitcode
+        for task in tasks:
+            if task.index not in records:
+                records[task.index] = FleetRunRecord(
+                    index=task.index,
+                    name=task.ref.name,
+                    worker=wid,
+                    attempts=0,
+                    error=(
+                        f"worker {wid} died before finishing this task "
+                        f"(exit code {exit_code})"
+                    ),
+                )
+    return [records[i] for i in sorted(records)]
+
+
+def run_fleet(
+    work: Sequence[Union[FleetTask, WorkloadRef]],
+    options: Optional[RunOptions] = None,
+    workers: int = 4,
+    shard_by: str = "interleave",
+    max_retries: int = 1,
+    backoff: float = DEFAULT_BACKOFF,
+    mp_start_method: Optional[str] = None,
+) -> FleetReport:
+    """Run a workload set across N processes and merge the results.
+
+    ``work`` is either a list of :class:`WorkloadRef` (numbered here,
+    all sharing ``options``) or pre-built :class:`FleetTask` items with
+    per-task options (seed sweeps).  ``workers`` is clamped to the task
+    count; ``workers=1`` runs in-process with identical semantics.
+    """
+    started = time.perf_counter()
+    tasks = _normalize_tasks(work, options)
+    workers = max(1, min(int(workers), len(tasks) or 1))
+
+    if workers == 1:
+        records = _run_serial(tasks, max_retries, backoff)
+    else:
+        ctx = _mp_context(mp_start_method)
+        shards = shard(tasks, workers, shard_by)
+        result_queue = ctx.Queue()
+        procs: Dict[int, object] = {}
+        assigned: Dict[int, List[FleetTask]] = {}
+        for wid, worker_tasks in enumerate(shards):
+            if not worker_tasks:
+                continue
+            proc = ctx.Process(
+                target=worker_main,
+                args=(wid, worker_tasks, result_queue,
+                      max_retries, backoff),
+                daemon=True,
+            )
+            proc.start()
+            procs[wid] = proc
+            assigned[wid] = worker_tasks
+        try:
+            records = _collect(procs, assigned, result_queue)
+        finally:
+            for proc in procs.values():
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            result_queue.close()
+
+    return FleetReport(
+        workers=workers,
+        shard_by=shard_by,
+        max_retries=max_retries,
+        runs=records,
+        wall_seconds=time.perf_counter() - started,
+        telemetry=merged_telemetry(records),
+    )

@@ -1,0 +1,115 @@
+"""Picklable workload references and the canonical registry map.
+
+Fleet workers live in separate processes, and :class:`Workload` rows are
+not picklable (their ``setup`` callbacks are closures over images and
+peers).  What crosses the process boundary instead is a
+:class:`WorkloadRef` — (module, factory, name) — which each worker
+resolves locally by importing the registry module and picking the row by
+name.  Resolution is deterministic: registries build their rows from
+static sources, so every process sees the same workload for the same ref.
+
+:data:`REGISTRIES` is the single source of truth mapping table keys to
+registry factories; the CLI (``repro table``, ``repro chaos``,
+``repro fleet``) and the benchmark harnesses all import it from here.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.options import RunOptions
+from repro.programs.base import Workload
+
+#: Table key → (module, factory) for every evaluation registry: the
+#: paper's Tables 4-8, the macro benchmarks (§8.4), the trusted-extension
+#: rows, and the end-to-end scenarios.  62 workloads in total.
+REGISTRIES: Dict[str, Tuple[str, str]] = {
+    "4": ("repro.programs.micro.execflow", "table4_workloads"),
+    "5": ("repro.programs.micro.resource", "table5_workloads"),
+    "6": ("repro.programs.micro.infoflow", "table6_workloads"),
+    "7": ("repro.programs.trusted.registry", "table7_workloads"),
+    "8": ("repro.programs.exploits.registry", "table8_workloads"),
+    "macro": ("repro.programs.macro.registry", "macro_workloads"),
+    "ext": ("repro.programs.extensions", "extension_workloads"),
+    "scenarios": ("repro.programs.scenarios", "scenario_workloads"),
+}
+
+#: Registry traversal order for "run everything" sweeps (matches
+#: ``repro report``).
+REGISTRY_ORDER: Tuple[str, ...] = (
+    "4", "5", "6", "7", "8", "macro", "ext", "scenarios"
+)
+
+
+def registry_workloads(key: str) -> List[Workload]:
+    """All rows of one registry, freshly built."""
+    module_name, factory_name = REGISTRIES[key]
+    module = importlib.import_module(module_name)
+    return list(getattr(module, factory_name)())
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """A workload row by name — small, picklable, resolvable anywhere."""
+
+    module: str
+    factory: str
+    name: str
+
+    @classmethod
+    def from_registry(cls, key: str, name: str) -> "WorkloadRef":
+        module, factory = REGISTRIES[key]
+        return cls(module=module, factory=factory, name=name)
+
+    def resolve(self) -> Workload:
+        """Import the registry and pick this row (fresh every call)."""
+        module = importlib.import_module(self.module)
+        rows = getattr(module, self.factory)()
+        for workload in rows:
+            if workload.name == self.name:
+                return workload
+        raise LookupError(
+            f"workload {self.name!r} not found in "
+            f"{self.module}.{self.factory}()"
+        )
+
+
+def workload_refs(keys: Optional[Sequence[str]] = None) -> List[WorkloadRef]:
+    """Refs for every row of the named registries (all 62 by default),
+    in registry order then row order — the canonical fleet sweep set."""
+    refs: List[WorkloadRef] = []
+    for key in keys if keys is not None else REGISTRY_ORDER:
+        module, factory = REGISTRIES[key]
+        refs.extend(
+            WorkloadRef(module=module, factory=factory, name=w.name)
+            for w in registry_workloads(key)
+        )
+    return refs
+
+
+@dataclass(frozen=True)
+class FleetTask:
+    """One unit of fleet work: which workload, with which options.
+
+    ``index`` fixes the task's position in the merged report — the
+    coordinator orders results by it, which is what makes fleet output
+    independent of worker count and scheduling.
+    """
+
+    index: int
+    ref: WorkloadRef
+    options: RunOptions = field(default_factory=RunOptions)
+
+
+def make_tasks(
+    refs: Sequence[WorkloadRef],
+    options: Optional[RunOptions] = None,
+) -> List[FleetTask]:
+    """Number a ref list into tasks sharing one options set."""
+    options = options if options is not None else RunOptions()
+    return [
+        FleetTask(index=i, ref=ref, options=options)
+        for i, ref in enumerate(refs)
+    ]

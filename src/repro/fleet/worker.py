@@ -1,0 +1,153 @@
+"""Fleet worker: one process, one warm Session, one shard of tasks.
+
+The worker entrypoint (:func:`worker_main`) is a top-level function so
+it survives both ``fork`` and ``spawn`` start methods.  Each worker
+builds a single :class:`repro.api.Session` and runs its whole shard
+through it, so the translated-block store, tag-set interner, and
+assemble memo stay warm across the shard — the same reuse a serial
+sweep gets, without sharing any mutable machine state between runs.
+
+Retry policy (:func:`run_task_with_retry`): a run whose result reason is
+``watchdog`` (wall-clock stall) or that recorded contained
+``MonitorFault``s is scheduling noise, not a property of the workload —
+it is retried up to ``max_retries`` times with linear backoff, on a
+fresh machine each attempt.  Deterministic outcomes (verdicts, rule
+firings) are never retried; a genuinely wedged workload exhausts its
+retries and surfaces as a failed record with its retry history intact.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Callable, List, Optional
+
+from repro.api import Session
+from repro.core.report import RunReport
+from repro.fleet.refs import FleetTask
+
+#: Linear backoff base between retry attempts, seconds.
+DEFAULT_BACKOFF = 0.05
+
+RETRY_WATCHDOG = "watchdog"
+RETRY_MONITOR_FAULT = "monitor-fault"
+RETRY_ERROR = "error"
+
+
+def retry_reason(report: RunReport) -> Optional[str]:
+    """Why this run should be retried, or None if it stands.
+
+    Only transient, machine-level outcomes qualify: a watchdog kill
+    (the host stalled, not the guest) or a contained monitor fault.
+    """
+    if report.result.reason == "watchdog":
+        return RETRY_WATCHDOG
+    if report.monitor_faults:
+        return RETRY_MONITOR_FAULT
+    return None
+
+
+def run_task_with_retry(
+    session: Session,
+    task: FleetTask,
+    worker_id: int = 0,
+    max_retries: int = 1,
+    backoff: float = DEFAULT_BACKOFF,
+    sleep: Callable[[float], None] = time.sleep,
+    runner: Optional[Callable[..., RunReport]] = None,
+) -> dict:
+    """Run one task (with retries) and return its wire record.
+
+    ``runner(workload, options, telemetry)`` is injectable so the retry
+    path is unit-testable without multiprocessing or a real stall; the
+    default runs through the session's warm engine.
+    """
+    started = time.perf_counter()
+    retries: List[str] = []
+    report: Optional[RunReport] = None
+    spans: Optional[List[dict]] = None
+    error: Optional[str] = None
+    ok: Optional[bool] = None
+
+    workload = None
+    try:
+        workload = task.ref.resolve()
+    except Exception:
+        error = traceback.format_exc()
+
+    if runner is None:
+        runner = lambda w, o, t: session.run_workload(  # noqa: E731
+            w, options=o, telemetry=t
+        )
+
+    attempt = 0
+    while workload is not None and attempt <= max_retries:
+        attempt += 1
+        error = None
+        # A fresh hub per attempt: telemetry from a retried (discarded)
+        # attempt must not leak into the merged fleet registry.
+        hub = task.options.make_telemetry()
+        try:
+            report = runner(workload, task.options, hub)
+        except Exception:
+            report = None
+            error = traceback.format_exc()
+            reason = RETRY_ERROR
+        else:
+            reason = retry_reason(report)
+        if reason is None:
+            break
+        if attempt <= max_retries:
+            retries.append(reason)
+            if backoff > 0:
+                sleep(backoff * attempt)
+
+    if report is not None and workload is not None:
+        ok = workload.classified_correctly(report)
+        if task.options.trace and hub is not None and hub.tracer is not None:
+            spans = [s.to_dict() for s in hub.tracer.finished()]
+
+    return {
+        "kind": "run",
+        "index": task.index,
+        "name": task.ref.name,
+        "worker": worker_id,
+        "attempts": max(attempt, 1),
+        "retries": retries,
+        "ok": ok,
+        "report": report.to_dict() if report is not None else None,
+        "spans": spans,
+        "error": error,
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+def worker_main(
+    worker_id: int,
+    tasks: List[FleetTask],
+    queue,
+    max_retries: int = 1,
+    backoff: float = DEFAULT_BACKOFF,
+) -> None:
+    """Process entrypoint: drain a shard, stream records, then a sentinel.
+
+    Records stream as each task finishes (the coordinator shows progress
+    and merges incrementally); the final ``worker-done`` message carries
+    the worker's warm-engine statistics for the fleet summary.
+    """
+    session = Session()
+    for task in tasks:
+        record = run_task_with_retry(
+            session,
+            task,
+            worker_id=worker_id,
+            max_retries=max_retries,
+            backoff=backoff,
+        )
+        queue.put(record)
+    queue.put({
+        "kind": "worker-done",
+        "worker": worker_id,
+        "runs": session.runs,
+        "engine": session.engine.stats(),
+    })

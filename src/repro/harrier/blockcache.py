@@ -57,6 +57,15 @@ class BlockCache:
         #: Defensive bound; a full cache is flushed wholesale, like PIN's
         #: code cache under pressure.
         self.max_blocks = max_blocks
+        self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics) -> None:
+        """(Re)wire the telemetry mirrors to ``metrics``.
+
+        Warm caches outlive single runs (see :class:`BlockCacheStore`),
+        so each run re-binds the counter handles to its own registry —
+        or to ``None``, which keeps the hot path at two attribute loads.
+        """
         if metrics is not None:
             self._c_hits = metrics.counter("blockcache_hits_total")
             self._c_misses = metrics.counter("blockcache_misses_total")
@@ -132,3 +141,54 @@ class BlockCache:
             f"BlockCache(<{len(self.plans)} blocks, "
             f"{self.hits} hits / {self.misses} misses>)"
         )
+
+
+class BlockCacheStore:
+    """Cross-run warm store: code-layout key -> :class:`BlockCache`.
+
+    A translated plan is valid for exactly one code layout — the same
+    instructions relocated to the same addresses.  The kernel's layout
+    key captures that: the main image's name and the identity of its
+    (immutable, shared) text tuple, plus ``(name, base, text identity)``
+    of every loaded image.  Two runs produce equal keys only when the
+    loader placed identical code identically, which is precisely when
+    reusing the cache is sound.
+
+    Keys embed ``id()`` values, so the store *pins* the keyed images:
+    a strong reference per entry guarantees no id is ever recycled
+    while the store lives.  Stores are single-process state (each fleet
+    worker owns its own); they are never shared across processes.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, tuple] = {}
+
+    def get(self, key: tuple) -> Optional["BlockCache"]:
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def put(self, key: tuple, cache: "BlockCache", pins: tuple = ()) -> None:
+        self._entries[key] = (cache, pins)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate counters across every stored cache."""
+        totals = {
+            "caches": len(self._entries),
+            "blocks": 0,
+            "hits": 0,
+            "misses": 0,
+            "translated_instructions": 0,
+        }
+        for cache, _pins in self._entries.values():
+            totals["blocks"] += len(cache)
+            totals["hits"] += cache.hits
+            totals["misses"] += cache.misses
+            totals["translated_instructions"] += (
+                cache.translated_instructions
+            )
+        return totals
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -43,10 +43,13 @@ def _apply_noop(shadow, rec) -> bool:
 class InstructionDataFlow:
     """Stateless transfer interpreter (tag caches only)."""
 
-    def __init__(self) -> None:
+    def __init__(self, interner: TagSetInterner = None) -> None:
         self._binary_tags: Dict[str, TagSet] = {}
         #: Shared hash-consing table + union memo for the batched path.
-        self.interner = TagSetInterner()
+        #: May be handed in warm (an ``EngineCache`` reusing interned
+        #: sets across a sweep's runs); interning is value-preserving,
+        #: so sharing never changes observable output.
+        self.interner = interner if interner is not None else TagSetInterner()
 
     def binary_tag(self, image_name: str) -> TagSet:
         tags = self._binary_tags.get(image_name)

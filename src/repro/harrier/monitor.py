@@ -80,6 +80,7 @@ class Harrier(KernelHooks):
         analyzer: Optional[EventAnalyzer] = None,
         config: Optional[HarrierConfig] = None,
         decision: DecisionPolicy = always_continue,
+        interner=None,
     ) -> None:
         self.analyzer = analyzer or EventAnalyzer()
         self.config = config or HarrierConfig()
@@ -91,7 +92,7 @@ class Harrier(KernelHooks):
         self._track_df = self.config.track_dataflow
         self._track_bb = self.config.track_bb_frequency
         self._short_circuit = self.config.short_circuit_routines
-        self.dataflow = InstructionDataFlow()
+        self.dataflow = InstructionDataFlow(interner=interner)
         self.bbfreq = CodeExecutionPatterns()
         self.routines = RoutineShortCircuit(self.dataflow)
         self.event_gen = SyscallEventGenerator(

@@ -93,6 +93,7 @@ class Kernel:
         fault_injector: Optional["FaultInjector"] = None,
         telemetry: Optional[Telemetry] = None,
         use_block_cache: bool = True,
+        block_cache_store=None,
     ) -> None:
         self.hooks = hooks or NullHooks()
         #: Translate basic blocks once and re-execute the compiled plans
@@ -143,6 +144,10 @@ class Kernel:
         #: One BlockCache per main-executable image, keyed by identity and
         #: shared by every process running that image (fork included).
         self._block_caches: Dict[int, Tuple[Image, object]] = {}
+        #: Optional cross-run warm store (``repro.harrier.blockcache
+        #: .BlockCacheStore``, owned by an ``EngineCache``): caches for
+        #: identical code layouts are reused instead of retranslated.
+        self._block_cache_store = block_cache_store
         #: Times a process's cache was invalidated (execve swaps images).
         self.block_cache_flushes = 0
 
@@ -178,12 +183,35 @@ class Kernel:
         # imports this module.
         from repro.harrier.blockcache import BlockCache
 
+        store = self._block_cache_store
+        if store is not None:
+            # Exact layout identity: the loader is deterministic, so two
+            # runs whose images share text tuples and bases see the same
+            # code at the same pcs — the only condition under which a
+            # translated plan may be reused (see BlockCacheStore).
+            key = (
+                image.name,
+                id(image.text),
+                tuple(
+                    (li.image.name, li.base, id(li.image.text))
+                    for li in image_map
+                ),
+            )
+            cache = store.get(key)
+            if cache is not None:
+                cache.bind_metrics(self._metrics)
+                self._block_caches[id(image)] = (image, cache)
+                return cache
         leaders = set()
         for loaded in image_map:
             leaders.update(loaded.abs_bb_leaders())
         cache = BlockCache(
             leaders=frozenset(leaders), metrics=self._metrics
         )
+        if store is not None:
+            store.put(
+                key, cache, pins=tuple(li.image for li in image_map)
+            )
         self._block_caches[id(image)] = (image, cache)
         return cache
 

@@ -11,6 +11,7 @@ it reports *what* it mapped and the monitor does the tagging.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.image import Image
@@ -129,7 +130,11 @@ class ImageMap:
 _SHIM_BASE = 0x100
 
 
+@lru_cache(maxsize=64)
 def _make_shim(main_addr: int) -> Image:
+    # Memoized (like ``libc_image``) so ``id(image.text)`` is stable across
+    # runs of the same program — the warm BlockCacheStore keys its layouts
+    # on text identity, and a fresh shim per run would defeat every hit.
     text = (
         Instruction(Opcode.CALL, Imm(main_addr, symbol="main")),
         Instruction(Opcode.MOV, Reg("ebx"), Reg("eax")),

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.options import RunOptions, UNSET, fold_legacy_flags
 from repro.core.report import RunReport, Verdict
 from repro.harrier.config import HarrierConfig
 from repro.isa.assembler import assemble
@@ -44,7 +45,9 @@ class Workload:
     #: (e.g. the untrusted libX11.so the xeyes analogue links against).
     extra_libraries: Tuple[Tuple[str, str], ...] = ()
 
-    def image(self) -> Image:
+    def image(self, engine=None) -> Image:
+        if engine is not None:
+            return engine.image(self.program_path, self.source)
         return assemble(self.program_path, self.source)
 
     def build_machine(
@@ -53,27 +56,40 @@ class Workload:
         harrier_config: Optional[HarrierConfig] = None,
         fault_injector=None,
         telemetry=None,
-        block_cache: bool = True,
-        taint_fastpath: bool = True,
+        block_cache: bool = UNSET,
+        taint_fastpath: bool = UNSET,
+        options: Optional[RunOptions] = None,
+        engine=None,
     ) -> "HTH":  # noqa: F821
         from repro.core.hth import HTH
 
+        options = fold_legacy_flags(
+            "Workload.build_machine", options,
+            block_cache=block_cache, taint_fastpath=taint_fastpath,
+        )
         libraries = None
         if self.extra_libraries:
             from repro.programs.libc import libc_image
 
-            libraries = [libc_image()] + [
-                assemble(path, source)
-                for path, source in self.extra_libraries
-            ]
+            if engine is not None:
+                extra = [
+                    engine.image(path, source)
+                    for path, source in self.extra_libraries
+                ]
+            else:
+                extra = [
+                    assemble(path, source)
+                    for path, source in self.extra_libraries
+                ]
+            libraries = [libc_image()] + extra
         hth = HTH(
             policy=policy,
             harrier_config=harrier_config or self.harrier_config,
             libraries=libraries,
             fault_injector=fault_injector,
             telemetry=telemetry,
-            block_cache=block_cache,
-            taint_fastpath=taint_fastpath,
+            options=options,
+            engine=engine,
         )
         if self.setup is not None:
             self.setup(hth)
@@ -86,24 +102,33 @@ class Workload:
         fault_injector=None,
         wall_timeout: Optional[float] = None,
         telemetry=None,
-        block_cache: bool = True,
-        taint_fastpath: bool = True,
+        block_cache: bool = UNSET,
+        taint_fastpath: bool = UNSET,
+        options: Optional[RunOptions] = None,
+        engine=None,
     ) -> RunReport:
+        options = fold_legacy_flags(
+            "Workload.run", options,
+            block_cache=block_cache, taint_fastpath=taint_fastpath,
+        )
         hth = self.build_machine(
             policy,
             harrier_config,
             fault_injector,
             telemetry=telemetry,
-            block_cache=block_cache,
-            taint_fastpath=taint_fastpath,
+            options=options,
+            engine=engine,
         )
         return hth.run(
-            self.image(),
+            self.image(engine=engine),
             argv=self.argv or [self.program_path],
             env=self.env,
             stdin=self.stdin,
             max_ticks=self.max_ticks,
-            wall_timeout=wall_timeout,
+            wall_timeout=(
+                wall_timeout if wall_timeout is not None
+                else options.wall_timeout
+            ),
         )
 
     def classified_correctly(self, report: RunReport) -> bool:

@@ -30,6 +30,8 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     NullSink,
+    merge_sample_lists,
+    render_samples,
 )
 from repro.telemetry.profiler import (
     STAGE_ANALYSIS,
@@ -80,6 +82,36 @@ class TelemetrySnapshot:
             float(s.get("value", 0.0) or 0.0)
             for s in self.metrics
             if s["name"] == name
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TelemetrySnapshot":
+        """Rebuild a snapshot from its ``to_dict()`` form (the shape a
+        fleet worker streams across the process boundary)."""
+        return cls(
+            enabled=bool(data["enabled"]),
+            metrics=list(data["metrics"]),
+            profile=data["profile"],
+            span_count=int(data["span_count"]),
+        )
+
+    @classmethod
+    def merged(
+        cls, snapshots: List["TelemetrySnapshot"]
+    ) -> "TelemetrySnapshot":
+        """Fold many per-run snapshots into one fleet-level snapshot.
+
+        Metric registries merge per :func:`merge_sample_lists`, stage
+        profiles via :meth:`StageProfiler.from_dicts`, and span counts
+        add.  The result is ``enabled`` iff any input was.
+        """
+        live = [s for s in snapshots if s is not None]
+        profiler = StageProfiler.from_dicts(s.profile for s in live)
+        return cls(
+            enabled=any(s.enabled for s in live),
+            metrics=merge_sample_lists(s.metrics for s in live),
+            profile=profiler.to_dict() if profiler is not None else None,
+            span_count=sum(s.span_count for s in live),
         )
 
 
@@ -134,6 +166,8 @@ __all__ = [
     "TelemetrySnapshot",
     "MetricsRegistry",
     "NullSink",
+    "merge_sample_lists",
+    "render_samples",
     "Counter",
     "Gauge",
     "Histogram",

@@ -181,24 +181,77 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """Human-readable dump (``repro ... --metrics``)."""
-        lines = []
-        for sample in self.samples():
-            labels = sample["labels"]
-            label_txt = (
-                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
-                + "}" if labels else ""
+        return render_samples(self.samples())
+
+
+def render_samples(samples: Iterable[Dict[str, object]]) -> str:
+    """Human-readable dump of a sample list (live registry or a merged
+    fleet snapshot — both use the same wire shape)."""
+    lines = []
+    for sample in samples:
+        labels = sample["labels"]
+        label_txt = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            + "}" if labels else ""
+        )
+        if sample["kind"] == "histogram":
+            lines.append(
+                f"{sample['name']}{label_txt} "
+                f"count={sample['count']} sum={sample['sum']:.6f} "
+                f"mean={sample['mean']:.6f}"
             )
-            if sample["kind"] == "histogram":
-                lines.append(
-                    f"{sample['name']}{label_txt} "
-                    f"count={sample['count']} sum={sample['sum']:.6f} "
-                    f"mean={sample['mean']:.6f}"
+        else:
+            value = sample["value"]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"{sample['name']}{label_txt} {shown}")
+    return "\n".join(lines)
+
+
+def merge_sample_lists(
+    sample_lists: Iterable[List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Merge several ``MetricsRegistry.samples()`` lists into one.
+
+    The fleet coordinator folds per-run registry snapshots from many
+    worker processes into a single fleet-level registry view:
+
+    * **counters** sum (total work across the fleet);
+    * **gauges** sum — a fleet gauge reads as "across all machines"
+      (e.g. total live shadow pages), matching how per-process gauges
+      already aggregate in :meth:`MetricsRegistry.total`;
+    * **histograms** merge streams: counts and sums add, min/max widen,
+      the mean is recomputed from the merged count/sum.
+
+    Output order is deterministic: sorted by (kind, name, labels), the
+    same order :meth:`MetricsRegistry.samples` emits.
+    """
+    merged: Dict[Tuple[str, str, LabelKey], Dict[str, object]] = {}
+    for samples in sample_lists:
+        for sample in samples:
+            key = (
+                str(sample["kind"]),
+                str(sample["name"]),
+                _label_key(dict(sample["labels"])),
+            )
+            into = merged.get(key)
+            if into is None:
+                merged[key] = dict(sample)
+                continue
+            if key[0] == "histogram":
+                into["count"] = into["count"] + sample["count"]
+                into["sum"] = into["sum"] + sample["sum"]
+                for bound, pick in (("min", min), ("max", max)):
+                    ours, theirs = into[bound], sample[bound]
+                    if ours is None:
+                        into[bound] = theirs
+                    elif theirs is not None:
+                        into[bound] = pick(ours, theirs)
+                into["mean"] = (
+                    into["sum"] / into["count"] if into["count"] else 0.0
                 )
             else:
-                value = sample["value"]
-                shown = int(value) if float(value).is_integer() else value
-                lines.append(f"{sample['name']}{label_txt} {shown}")
-        return "\n".join(lines)
+                into["value"] = into["value"] + sample["value"]
+    return [merged[key] for key in sorted(merged)]
 
 
 class _NullInstrument:

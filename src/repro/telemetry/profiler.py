@@ -12,7 +12,7 @@ kernel bookkeeping — what a run with monitoring off would cost).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 STAGE_NATIVE = "native"
 STAGE_BBFREQ = "bbfreq"
@@ -95,6 +95,30 @@ class StageProfiler:
             "stage_shares": self.shares(),
             "cumulative_slowdown": self.slowdowns(),
         }
+
+    @classmethod
+    def from_dicts(
+        cls, profiles: Iterable[Optional[Dict[str, object]]]
+    ) -> Optional["StageProfiler"]:
+        """Rebuild one profiler from several ``to_dict()`` snapshots.
+
+        The fleet coordinator merges per-run stage profiles from many
+        workers: attributed stage seconds and run wall time add, and the
+        shares/slowdowns are recomputed from the merged totals.  Returns
+        ``None`` when no snapshot carried a profile.
+        """
+        merged = cls()
+        seen = False
+        for profile in profiles:
+            if not profile:
+                continue
+            seen = True
+            for stage, seconds in profile["stage_seconds"].items():
+                if stage != STAGE_NATIVE:
+                    merged.add(stage, float(seconds))
+            merged._run_wall += float(profile["total_seconds"])
+            merged.runs += int(profile["runs"])
+        return merged if seen else None
 
     def render(self, title: str = "Monitor overhead profile") -> str:
         """The §8 breakdown as a table."""

@@ -1,0 +1,121 @@
+"""repro.api: the Session facade and its warm-engine semantics.
+
+The facade's contract: a Session makes machines *fresh per run* but
+reuses a warm :class:`EngineCache` (assemble memo, translated-block
+store, tag-set interner) — so repeated runs are faster to set up yet
+bit-identical to cold one-shot execution.
+"""
+
+from repro.api import Session, run, run_workload
+from repro.core.options import RunOptions
+from repro.core.report import REPORT_SCHEMA_VERSION
+from repro.fleet.refs import WorkloadRef
+from repro.isa import assemble
+
+SOURCE = """
+main:
+    mov ebx, path
+    mov ecx, 0x241
+    call open
+    mov ebx, eax
+    mov ecx, text
+    call fputs
+    call close
+    mov eax, 0
+    ret
+.data
+path: .asciz "/tmp/out"
+text: .asciz "hello"
+"""
+
+
+class TestSessionRun:
+    def test_run_source_string(self):
+        report = Session().run(SOURCE)
+        assert report.exit_code == 0
+        assert report.program == "/bin/guest"
+
+    def test_run_source_with_path(self):
+        report = Session().run(SOURCE, path="/usr/bin/demo")
+        assert report.program == "/usr/bin/demo"
+
+    def test_run_prebuilt_image(self):
+        report = Session().run(assemble("/bin/t", SOURCE))
+        assert report.exit_code == 0
+
+    def test_setup_hook_runs_before_guest(self):
+        seen = []
+        Session().run(SOURCE, setup=lambda hth: seen.append(hth))
+        assert len(seen) == 1
+        assert hasattr(seen[0], "kernel")
+
+    def test_session_counts_runs(self):
+        session = Session()
+        session.run(SOURCE)
+        session.run(SOURCE)
+        assert session.runs == 2
+
+    def test_schema_version_in_report_dict(self):
+        data = Session().run(SOURCE).to_dict()
+        assert data["schema_version"] == REPORT_SCHEMA_VERSION
+
+
+class TestWarmEngine:
+    def test_assemble_memo_reused(self):
+        session = Session()
+        session.run(SOURCE)
+        stats_first = session.engine.stats()
+        session.run(SOURCE)
+        stats_second = session.engine.stats()
+        assert stats_second["images"] == stats_first["images"]
+
+    def test_warm_runs_bit_identical_to_cold(self):
+        workload = WorkloadRef.from_registry("8", "ElmExploit").resolve()
+        cold = workload.run().to_dict()
+        session = Session()
+        first = session.run_workload(workload).to_dict()
+        second = session.run_workload(workload).to_dict()
+        assert first == cold
+        assert second == cold
+
+    def test_block_caches_shared_across_runs(self):
+        session = Session(RunOptions(metrics=True))
+        first = session.run(SOURCE)
+        second = session.run(SOURCE)
+        misses_first = first.telemetry.metric_total(
+            "blockcache_misses_total"
+        )
+        misses_second = second.telemetry.metric_total(
+            "blockcache_misses_total"
+        )
+        # Run 2 executes entirely out of the warm store: every block was
+        # translated (missed) in run 1.
+        assert misses_first > 0
+        assert misses_second == 0
+
+
+class TestSessionOptions:
+    def test_session_options_are_the_default(self):
+        session = Session(RunOptions(max_ticks=10))
+        report = session.run(SOURCE)
+        assert report.result.reason == "max-ticks"
+
+    def test_per_run_options_override(self):
+        session = Session(RunOptions(max_ticks=10))
+        report = session.run(SOURCE, options=RunOptions())
+        assert report.result.reason == "all-exited"
+
+    def test_per_run_telemetry_from_options(self):
+        report = Session().run(SOURCE, options=RunOptions(metrics=True))
+        assert report.telemetry is not None
+        assert report.telemetry.metric_total("cpu_instructions_total") > 0
+
+
+class TestOneShots:
+    def test_module_level_run(self):
+        assert run(SOURCE).exit_code == 0
+
+    def test_module_level_run_workload(self):
+        workload = WorkloadRef.from_registry("8", "ElmExploit").resolve()
+        report = run_workload(workload)
+        assert workload.classified_correctly(report)

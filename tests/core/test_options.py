@@ -1,0 +1,159 @@
+"""RunOptions: the unified run-configuration object and its legacy shims.
+
+Covers the deprecation contract the API redesign promised: the old
+``block_cache=`` / ``taint_fastpath=`` boolean kwargs on ``HTH``,
+``Workload.run``/``build_machine`` and ``run_monitored`` keep working —
+with a ``DeprecationWarning`` — and behave exactly like the
+``options=RunOptions(...)`` replacement.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.hth import HTH, run_monitored
+from repro.core.options import (
+    DEFAULT_MAX_TICKS,
+    RunOptions,
+    UNSET,
+    fold_legacy_flags,
+)
+from repro.fleet.refs import WorkloadRef
+from repro.isa import assemble
+
+SOURCE = """
+main:
+    mov eax, 0
+    ret
+"""
+
+
+def _image():
+    return assemble("/bin/t", SOURCE)
+
+
+class TestRunOptions:
+    def test_defaults(self):
+        options = RunOptions()
+        assert options.block_cache is True
+        assert options.taint_fastpath is True
+        assert options.max_ticks == DEFAULT_MAX_TICKS
+        assert options.wall_timeout is None
+        assert not options.wants_telemetry
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RunOptions().block_cache = False
+
+    def test_picklable(self):
+        from repro.faultinject import TRANSPARENT_PROFILE
+
+        options = RunOptions(
+            metrics=True, fault_profile=TRANSPARENT_PROFILE, fault_seed=7
+        )
+        clone = pickle.loads(pickle.dumps(options))
+        assert clone == options
+
+    def test_replaced_and_with_faults(self):
+        from repro.faultinject import TRANSPARENT_PROFILE
+
+        base = RunOptions()
+        assert base.replaced(block_cache=False).block_cache is False
+        assert base.replaced(block_cache=False) != base
+        chaotic = base.with_faults(TRANSPARENT_PROFILE, 42)
+        assert chaotic.fault_profile is TRANSPARENT_PROFILE
+        assert chaotic.fault_seed == 42
+
+    def test_make_telemetry_off_by_default(self):
+        assert RunOptions().make_telemetry() is None
+
+    def test_make_telemetry_flags(self):
+        hub = RunOptions(metrics=True).make_telemetry()
+        assert hub.is_enabled
+        assert hub.tracer is None and hub.profiler is None
+        hub = RunOptions(trace=True, profile=True).make_telemetry()
+        assert hub.tracer is not None and hub.profiler is not None
+
+    def test_make_fault_injector_fresh_per_call(self):
+        from repro.faultinject import TRANSPARENT_PROFILE
+
+        options = RunOptions(
+            fault_profile=TRANSPARENT_PROFILE, fault_seed=3
+        )
+        a, b = options.make_fault_injector(), options.make_fault_injector()
+        assert a is not None and b is not None
+        assert a is not b
+        assert RunOptions().make_fault_injector() is None
+
+
+class TestFoldLegacyFlags:
+    def test_no_flags_no_warning(self, recwarn):
+        options = fold_legacy_flags("X", None)
+        assert options == RunOptions()
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_flag_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="block_cache"):
+            options = fold_legacy_flags("X", None, block_cache=False)
+        assert options.block_cache is False
+
+    def test_explicit_flag_overrides_options(self):
+        with pytest.warns(DeprecationWarning):
+            options = fold_legacy_flags(
+                "X", RunOptions(taint_fastpath=True), taint_fastpath=False
+            )
+        assert options.taint_fastpath is False
+
+    def test_unset_sentinel_is_not_false(self, recwarn):
+        options = fold_legacy_flags(
+            "X", RunOptions(block_cache=False),
+            block_cache=UNSET, taint_fastpath=UNSET,
+        )
+        assert options.block_cache is False  # options value preserved
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestLegacyShims:
+    def test_hth_legacy_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="HTH"):
+            hth = HTH(block_cache=False)
+        assert hth.options.block_cache is False
+
+    def test_hth_options_equivalent_to_legacy(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = HTH(taint_fastpath=False).run(_image())
+        modern = HTH(options=RunOptions(taint_fastpath=False)).run(_image())
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_workload_run_legacy_kwarg_warns(self):
+        workload = WorkloadRef.from_registry("8", "ElmExploit").resolve()
+        with pytest.warns(DeprecationWarning, match="Workload.run"):
+            legacy = workload.run(block_cache=False)
+        modern = workload.run(options=RunOptions(block_cache=False))
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_build_machine_legacy_kwarg_warns(self):
+        workload = WorkloadRef.from_registry("8", "ElmExploit").resolve()
+        with pytest.warns(DeprecationWarning, match="build_machine"):
+            hth = workload.build_machine(taint_fastpath=False)
+        assert hth.options.taint_fastpath is False
+
+    def test_run_monitored_legacy_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning):
+            verdict_legacy = run_monitored(_image(), block_cache=False)
+        verdict_modern = run_monitored(
+            _image(), options=RunOptions(block_cache=False)
+        )
+        assert verdict_legacy.to_dict() == verdict_modern.to_dict()
+
+    def test_hth_run_budgets_default_from_options(self):
+        spin = assemble("/bin/spin", "main:\nloop:\n    jmp loop\n")
+        report = HTH(options=RunOptions(max_ticks=10)).run(spin)
+        assert report.result.reason == "max-ticks"
+        assert report.result.ticks <= 10

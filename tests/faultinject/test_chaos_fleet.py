@@ -1,0 +1,42 @@
+"""Chaos through the fleet: sharded seed sweeps equal serial ones.
+
+``(workload, profile, seed)`` fully determines a chaos trial, so
+sharding the (workload × seed) grid across worker processes must not
+change a single verdict, rule set, fault schedule, or reason.
+"""
+
+from repro.faultinject import TRANSPARENT_PROFILE, run_chaos_suite
+from repro.fleet.refs import WorkloadRef
+
+REFS = [
+    WorkloadRef.from_registry("8", "ElmExploit"),
+    WorkloadRef.from_registry("8", "pma"),
+]
+
+
+def test_fleet_chaos_matches_serial():
+    kwargs = dict(
+        base_seed=99, trials=3, profile=TRANSPARENT_PROFILE
+    )
+    serial = run_chaos_suite(REFS, **kwargs)
+    sharded = run_chaos_suite(REFS, workers=2, **kwargs)
+    assert [r.workload for r in sharded] == [r.workload for r in serial]
+    for s_result, f_result in zip(serial, sharded):
+        assert f_result.expected == s_result.expected
+        assert f_result.stable == s_result.stable
+        assert f_result.verdicts == s_result.verdicts
+        assert f_result.total_faults == s_result.total_faults
+        for s_trial, f_trial in zip(s_result.trials, f_result.trials):
+            assert f_trial.seed == s_trial.seed
+            assert f_trial.verdict == s_trial.verdict
+            assert f_trial.rules == s_trial.rules
+            assert f_trial.reason == s_trial.reason
+            assert [str(f) for f in f_trial.faults] == (
+                [str(f) for f in s_trial.faults]
+            )
+            assert f_trial.degraded == s_trial.degraded
+
+
+def test_chaos_refs_resolve_in_serial_mode_too():
+    results = run_chaos_suite(REFS, trials=1, workers=1)
+    assert [r.workload for r in results] == ["ElmExploit", "pma"]

@@ -57,8 +57,12 @@ def _shadow_fingerprint(hth):
 
 
 def _run_fingerprint(workload, block_cache, taint_fastpath=True):
+    from repro.core.options import RunOptions
+
     hth = workload.build_machine(
-        block_cache=block_cache, taint_fastpath=taint_fastpath
+        options=RunOptions(
+            block_cache=block_cache, taint_fastpath=taint_fastpath
+        )
     )
     report = hth.run(
         workload.image(),

@@ -323,7 +323,9 @@ loop:
         assert total > 0
 
     def test_escape_hatch_disables_fastpath(self):
-        harrier = self._run(taint_fastpath=False)
+        from repro.core.options import RunOptions
+
+        harrier = self._run(options=RunOptions(taint_fastpath=False))
         assert harrier.fastpath_blocks == 0
         assert harrier.slowpath_blocks > 0
 

@@ -1,0 +1,125 @@
+"""Fleet telemetry merging: sample lists, stage profiles, snapshots."""
+
+from repro.telemetry import (
+    MetricsRegistry,
+    StageProfiler,
+    TelemetrySnapshot,
+    merge_sample_lists,
+    render_samples,
+)
+
+
+def _registry(counter=0, gauge=0.0, observations=()):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("work_total", kind="a").inc(counter)
+    if gauge:
+        registry.gauge("live_pages").set(gauge)
+    for value in observations:
+        registry.histogram("latency_seconds").observe(value)
+    return registry
+
+
+class TestMergeSampleLists:
+    def test_counters_and_gauges_sum(self):
+        merged = merge_sample_lists([
+            _registry(counter=3, gauge=2.0).samples(),
+            _registry(counter=4, gauge=5.0).samples(),
+        ])
+        by_name = {(s["name"], s["kind"]): s for s in merged}
+        assert by_name[("work_total", "counter")]["value"] == 7
+        assert by_name[("live_pages", "gauge")]["value"] == 7.0
+
+    def test_histograms_merge_streams(self):
+        merged = merge_sample_lists([
+            _registry(observations=[0.1, 0.3]).samples(),
+            _registry(observations=[0.2]).samples(),
+        ])
+        (sample,) = merged
+        assert sample["count"] == 3
+        assert abs(sample["sum"] - 0.6) < 1e-9
+        assert sample["min"] == 0.1
+        assert sample["max"] == 0.3
+        assert abs(sample["mean"] - 0.2) < 1e-9
+
+    def test_label_sets_stay_distinct(self):
+        a = MetricsRegistry()
+        a.counter("calls", name="open").inc()
+        b = MetricsRegistry()
+        b.counter("calls", name="close").inc(2)
+        merged = merge_sample_lists([a.samples(), b.samples()])
+        assert len(merged) == 2
+
+    def test_order_matches_registry_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total").inc()
+        registry.gauge("a_gauge").set(1)
+        registry.histogram("m_hist").observe(0.5)
+        merged = merge_sample_lists([registry.samples()])
+        assert [
+            (s["kind"], s["name"]) for s in merged
+        ] == [
+            (s["kind"], s["name"]) for s in registry.samples()
+        ]
+
+    def test_merged_list_renders(self):
+        merged = merge_sample_lists([_registry(counter=2).samples()])
+        assert "work_total" in render_samples(merged)
+
+
+class TestProfilerFromDicts:
+    def test_profiles_add(self):
+        a = StageProfiler()
+        a.add("dataflow", 0.2)
+        a.add_run(1.0)
+        b = StageProfiler()
+        b.add("dataflow", 0.3)
+        b.add("bbfreq", 0.1)
+        b.add_run(2.0)
+        merged = StageProfiler.from_dicts([a.to_dict(), b.to_dict()])
+        assert merged.runs == 2
+        assert abs(merged.total_seconds - 3.0) < 1e-9
+        breakdown = merged.breakdown()
+        assert abs(breakdown["dataflow"] - 0.5) < 1e-9
+        assert abs(breakdown["bbfreq"] - 0.1) < 1e-9
+
+    def test_native_remainder_not_double_counted(self):
+        a = StageProfiler()
+        a.add("dataflow", 0.25)
+        a.add_run(1.0)
+        merged = StageProfiler.from_dicts([a.to_dict(), a.to_dict()])
+        # native = run wall - attributed stages, recomputed after merge
+        assert abs(merged.breakdown()["native"] - 1.5) < 1e-9
+
+    def test_no_profiles_gives_none(self):
+        assert StageProfiler.from_dicts([None, None]) is None
+        assert StageProfiler.from_dicts([]) is None
+
+
+class TestSnapshotMerged:
+    def _snapshot(self, counter, spans=0):
+        registry = _registry(counter=counter)
+        return TelemetrySnapshot(
+            enabled=True,
+            metrics=registry.samples(),
+            profile=None,
+            span_count=spans,
+        )
+
+    def test_roundtrip_from_dict(self):
+        snapshot = self._snapshot(5, spans=2)
+        assert TelemetrySnapshot.from_dict(snapshot.to_dict()) == snapshot
+
+    def test_merged_sums_everything(self):
+        merged = TelemetrySnapshot.merged(
+            [self._snapshot(1, spans=2), None, self._snapshot(2, spans=3)]
+        )
+        assert merged.enabled
+        assert merged.span_count == 5
+        assert merged.metric_total("work_total") == 3
+
+    def test_merged_empty_is_disabled(self):
+        merged = TelemetrySnapshot.merged([])
+        assert not merged.enabled
+        assert merged.metrics == []
+        assert merged.profile is None
