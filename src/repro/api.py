@@ -70,14 +70,21 @@ class Session:
         telemetry: Optional[Telemetry] = None,
         fault_injector=None,
         setup: Optional[SetupFn] = None,
+        analyzer=None,
     ) -> HTH:
-        """A fresh monitored machine wired to this session's warm engine."""
+        """A fresh monitored machine wired to this session's warm engine.
+
+        ``analyzer`` overrides the default Secpert instance — the serve
+        daemon passes a :class:`repro.serve.streaming.TapAnalyzer` here
+        so warnings stream out as they fire.
+        """
         options = options if options is not None else self.options
         hth = HTH(
             telemetry=telemetry if telemetry is not None else self.telemetry,
             fault_injector=fault_injector,
             options=options,
             engine=self.engine,
+            analyzer=analyzer,
         )
         if setup is not None:
             setup(hth)
@@ -94,6 +101,7 @@ class Session:
         options: Optional[RunOptions] = None,
         telemetry: Optional[Telemetry] = None,
         path: Optional[str] = None,
+        analyzer=None,
     ) -> RunReport:
         """Run one guest program and report.
 
@@ -105,7 +113,8 @@ class Session:
         if isinstance(program, str):
             program = self.engine.image(path or "/bin/guest", program)
         hth = self.machine(
-            options=options, telemetry=telemetry, setup=setup
+            options=options, telemetry=telemetry, setup=setup,
+            analyzer=analyzer,
         )
         self.runs += 1
         return hth.run(program, argv=argv, env=env, stdin=stdin)
@@ -117,6 +126,7 @@ class Session:
         telemetry: Optional[Telemetry] = None,
         fault_injector=None,
         wall_timeout: Optional[float] = None,
+        analyzer=None,
     ) -> RunReport:
         """Run one registry :class:`Workload` (its setup/argv/stdin/budgets
         included) on this session's warm engine."""
@@ -128,6 +138,7 @@ class Session:
             wall_timeout=wall_timeout,
             options=options,
             engine=self.engine,
+            analyzer=analyzer,
         )
 
 

@@ -468,7 +468,170 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         out = pathlib.Path(args.json)
         out.write_text(fleet.to_json() + "\n")
         print(f"wrote {out}")
+    if fleet.partial:
+        # Drained after SIGTERM/SIGINT: the report above is complete
+        # (cancelled tasks included) but the sweep did not run to the
+        # end — exit with the conventional interrupted status.
+        print("fleet drained after shutdown signal; report is partial",
+              file=sys.stderr)
+        return 130
     return 1 if fleet.failures else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on detection daemon (``repro serve``)."""
+    import asyncio
+
+    from repro.serve import ServeDaemon, run_daemon
+
+    host, port = None, 0
+    if args.http:
+        h, _, p = args.http.partition(":")
+        host, port = (h or "127.0.0.1"), int(p or 0)
+    daemon = ServeDaemon(
+        unix_path=args.socket,
+        host=host,
+        port=port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        rate=args.rate,
+        burst=args.burst,
+        tick_rate=args.tick_rate,
+        tick_burst=args.tick_burst,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+    )
+
+    async def main() -> None:
+        await daemon.start()
+        await daemon.wait_ready()
+        print(f"repro serve: {args.workers} warm worker(s), "
+              f"queue limit {args.queue_limit}")
+        if args.socket:
+            print(f"  unix socket : {args.socket}")
+        if host is not None:
+            print(f"  http        : http://{host}:{daemon.port} "
+                  f"(POST /submit, GET /healthz, GET /stats)")
+        await run_daemon(daemon)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    if args.metrics:
+        print("\n--- serve telemetry metrics ---")
+        print(daemon.metrics.render())
+    print("repro serve: drained and stopped")
+    return 0
+
+
+def _submission_from_args(args: argparse.Namespace):
+    from repro.serve import Submission
+
+    options = _run_options(args).replaced(
+        wall_timeout=args.wall_timeout,
+    )
+    if args.table:
+        if not args.workload:
+            raise SystemExit("--table needs --workload NAME")
+        return Submission(
+            workload=(args.table, args.workload),
+            options=options, tenant=args.tenant,
+            name=args.workload,
+        )
+    if not args.source:
+        raise SystemExit("need a guest source file or --table/--workload")
+    path = pathlib.Path(args.source)
+    files = dict(
+        _parse_kv("file", entry) for entry in (args.file or ())
+    )
+    peers = {}
+    for entry in args.peer or ():
+        if ":" not in entry:
+            raise SystemExit(f"--peer expects HOST:PORT, got {entry!r}")
+        peers[entry] = ""
+    for entry in args.serve or ():
+        addr, payload = _parse_kv("serve", entry)
+        if ":" not in addr:
+            raise SystemExit(f"--serve expects HOST:PORT=DATA, got {entry!r}")
+        peers[addr] = payload
+    guest_path = args.path or f"/bin/{path.stem}"
+    return Submission(
+        source=path.read_text(),
+        path=guest_path,
+        argv=tuple([guest_path] + list(args.arg or ())),
+        stdin=args.stdin,
+        files=files,
+        peers=peers,
+        options=options,
+        tenant=args.tenant,
+        name=path.name,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one run to a live daemon and stream its warnings."""
+    from repro.serve import ServeClient, ServeError
+
+    submission = _submission_from_args(args)
+    client = ServeClient(args.socket, timeout=args.timeout)
+
+    def show(event: dict) -> None:
+        if args.json:
+            print(json.dumps(event))
+            return
+        kind = event.get("kind")
+        if kind == "accepted":
+            print(f"accepted as {event['job']} "
+                  f"(queue depth {event['queue_depth']})")
+        elif kind == "warning":
+            w = event["warning"]
+            print(f"  [{w['severity']:6s}] {w['rule']}: {w['headline']}")
+        elif kind == "retry":
+            print(f"  (attempt {event['attempt']} lost to "
+                  f"{event['reason']}; retrying)")
+
+    try:
+        terminal = client.submit(submission, on_event=show)
+    except (ConnectionRefusedError, FileNotFoundError):
+        print(f"error: no daemon listening on {args.socket}",
+              file=sys.stderr)
+        return 2
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        return 0 if terminal.get("kind") == "report" else 1
+    kind = terminal.get("kind")
+    if kind == "rejected":
+        print(f"rejected: {terminal['reason']} {terminal.get('detail', '')}")
+        return 1
+    if kind == "error":
+        print(f"error ({terminal.get('code')}): "
+              f"{str(terminal.get('error', '')).strip().splitlines()[-1]}")
+        return 1
+    report = terminal["report"]
+    counts = {"LOW": 0, "MEDIUM": 0, "HIGH": 0}
+    for warning in report.get("warnings", ()):
+        counts[warning["severity"]] = counts.get(warning["severity"], 0) + 1
+    timing = terminal.get("timing", {})
+    print(f"verdict : {report['verdict'].upper()}")
+    print(f"warnings: LOW={counts['LOW']} MEDIUM={counts['MEDIUM']} "
+          f"HIGH={counts['HIGH']}")
+    print(f"timing  : queue {timing.get('queue_wait', 0):.3f}s, "
+          f"exec {timing.get('exec', 0):.3f}s "
+          f"({timing.get('attempts', 1)} attempt(s))")
+    if args.fail_on:
+        threshold = {"low": 1, "medium": 2, "high": 3}[args.fail_on]
+        order = {"LOW": 1, "MEDIUM": 2, "HIGH": 3}
+        worst = max(
+            (order[w["severity"]] for w in report.get("warnings", ())),
+            default=0,
+        )
+        if worst >= threshold:
+            return 1
+    return 0
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -621,6 +784,93 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged FleetReport as JSON")
     _add_telemetry_options(fleet)
     fleet.set_defaults(func=cmd_fleet)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on detection daemon (warm worker pool, "
+             "streamed warnings, admission control)",
+    )
+    serve.add_argument("--socket", default="repro-serve.sock",
+                       help="unix socket path for the NDJSON protocol "
+                            "(default: ./repro-serve.sock)")
+    serve.add_argument("--http", metavar="HOST:PORT",
+                       help="also speak HTTP (POST /submit streams "
+                            "chunked NDJSON; GET /healthz, /stats); "
+                            "port 0 picks a free one")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="warm worker processes (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="max submissions in the system; beyond this "
+                            "clients get rejected:queue-full / HTTP 429 "
+                            "(default: 64)")
+    serve.add_argument("--rate", type=float,
+                       help="per-tenant submissions per second "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=float,
+                       help="per-tenant submission burst "
+                            "(default: 2x rate)")
+    serve.add_argument("--tick-rate", type=float,
+                       help="per-tenant guest-tick budget per second — "
+                            "a submission costs its max_ticks "
+                            "(default: unlimited)")
+    serve.add_argument("--tick-burst", type=float,
+                       help="per-tenant tick burst (default: 2x tick "
+                            "rate)")
+    serve.add_argument("--job-timeout", type=float, default=60.0,
+                       help="wall deadline per submission before its "
+                            "worker is killed and recycled "
+                            "(default: 60s)")
+    serve.add_argument("--max-retries", type=int, default=1,
+                       help="retries when a worker crashes mid-job "
+                            "(default: 1)")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the daemon's metrics registry after "
+                            "shutdown")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one run to a live daemon and stream its warnings",
+    )
+    submit.add_argument("source", nargs="?",
+                        help="guest assembly file (.s); or use "
+                             "--table/--workload")
+    submit.add_argument("--socket", default="repro-serve.sock",
+                        help="daemon unix socket (default: "
+                             "./repro-serve.sock)")
+    submit.add_argument("--table", choices=sorted(_TABLE_BENCHES),
+                        help="submit a registry workload instead of a "
+                             "source file")
+    submit.add_argument("--workload", metavar="NAME",
+                        help="registry row name (with --table)")
+    submit.add_argument("--path", help="guest path identity")
+    submit.add_argument("--arg", action="append", help="argv entry")
+    submit.add_argument("--stdin", help="scripted user input")
+    submit.add_argument("--file", action="append", metavar="PATH=CONTENT",
+                        help="seed a file in the simulated fs (repeat)")
+    submit.add_argument("--peer", action="append", metavar="HOST:PORT",
+                        help="register a data-sink peer (repeat)")
+    submit.add_argument("--serve", action="append",
+                        metavar="HOST:PORT=DATA",
+                        help="register a peer that pushes DATA on "
+                             "connect")
+    submit.add_argument("--tenant", default="default",
+                        help="admission identity for rate/tick budgets")
+    submit.add_argument("--max-ticks", type=int, default=5_000_000)
+    submit.add_argument("--wall-timeout", type=float,
+                        help="per-run wall deadline hint for the daemon")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="client-side socket timeout (default: 120s)")
+    submit.add_argument("--no-block-cache", action="store_true",
+                        help="run on the per-instruction interpreter")
+    submit.add_argument("--no-taint-fastpath", action="store_true",
+                        help="disable the zero-taint dataflow fast path")
+    submit.add_argument("--fail-on", choices=("low", "medium", "high"),
+                        help="exit nonzero when warnings reach this "
+                             "severity")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw NDJSON event stream")
+    submit.set_defaults(func=cmd_submit)
 
     profile = sub.add_parser(
         "profile",

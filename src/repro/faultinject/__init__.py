@@ -26,8 +26,20 @@ from repro.faultinject.harness import (
     run_chaos_suite,
     run_one,
 )
+from repro.faultinject.daemon import (
+    ChaosMonkey,
+    DaemonChaosProfile,
+    ServeChaosOutcome,
+    ServeChaosResult,
+    run_serve_chaos,
+)
 
 __all__ = [
+    "ChaosMonkey",
+    "DaemonChaosProfile",
+    "ServeChaosOutcome",
+    "ServeChaosResult",
+    "run_serve_chaos",
     "FaultKind",
     "FaultProfile",
     "InjectedFault",

@@ -1,0 +1,209 @@
+"""Daemon-level chaos: point the fault machinery at a live serve daemon.
+
+The guest-level chaos harness (:mod:`repro.faultinject.harness`) proves
+detection survives a flaky *machine*; this module proves the always-on
+service survives a flaky *pool*.  Two fault planes compose:
+
+* **kernel-boundary faults** ride inside each submission's
+  :class:`~repro.core.options.RunOptions` (profile + seed) exactly as in
+  batch chaos — the daemon's workers build the same seeded injector;
+* **worker kills** come from the :class:`ChaosMonkey`, which hard-kills
+  pool workers (preferring busy ones) on a seed-derived schedule via
+  ``Supervisor.kill_worker`` — the same lever an OOM kill or segfault
+  pulls, exercised through the supervisor's organic crash-containment
+  path.
+
+:func:`run_serve_chaos` drives both against a running
+:class:`~repro.serve.server.ServeDaemon` and checks the service-level
+contract the docs promise: *every submission is answered with a terminal
+event* (report or synthesized error — never a hang, never a dropped
+stream), and submissions that carried no fault profile produce reports
+bit-identical to a batch ``Session`` run of the same work.
+
+Wall-clock interleaving of kills against execution is inherently racy,
+so the monkey's *schedule* is deterministic (seeded) but the assertable
+properties are liveness and answer-completeness, not which specific job
+absorbed which kill — mirroring the semantic-profile stance of the
+batch harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Kill schedules stay reproducible from one recorded seed, like
+#: guest-level fault schedules.
+DEFAULT_MONKEY_SEED = 1337
+
+
+@dataclass(frozen=True)
+class DaemonChaosProfile:
+    """How aggressively the monkey goes after the worker pool."""
+
+    #: Mean seconds between kill attempts (jittered ±50% by the seed).
+    kill_interval: float = 0.25
+    #: Total kills before the monkey retires.
+    kills: int = 3
+    #: Prefer workers that are mid-job (maximizes containment coverage);
+    #: falls back to any live worker when nobody is busy.
+    prefer_busy: bool = True
+
+
+class ChaosMonkey:
+    """Kill pool workers on a deterministic, seed-derived schedule."""
+
+    def __init__(
+        self,
+        supervisor,
+        profile: DaemonChaosProfile = DaemonChaosProfile(),
+        seed: int = DEFAULT_MONKEY_SEED,
+    ) -> None:
+        self.supervisor = supervisor
+        self.profile = profile
+        self.rng = random.Random(seed)
+        self.kills: List[int] = []
+
+    def pick_target(self) -> Optional[int]:
+        busy = self.supervisor.busy_worker_ids()
+        if busy and self.profile.prefer_busy:
+            return busy[self.rng.randrange(len(busy))]
+        stats = self.supervisor.stats()["workers"]
+        live = [wid for wid, w in stats.items() if w["alive"]]
+        if not live:
+            return None
+        return live[self.rng.randrange(len(live))]
+
+    async def run(self, stop: "asyncio.Event") -> int:
+        """Kill until the budget is spent or ``stop`` is set; return the
+        number of kills landed."""
+        while len(self.kills) < self.profile.kills and not stop.is_set():
+            delay = self.profile.kill_interval * (
+                0.5 + self.rng.random()
+            )
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=delay)
+                break
+            except asyncio.TimeoutError:
+                pass
+            target = self.pick_target()
+            if target is None:
+                continue
+            if self.supervisor.kill_worker(target):
+                self.kills.append(target)
+        return len(self.kills)
+
+
+@dataclass
+class ServeChaosOutcome:
+    """One submission's fate under daemon chaos."""
+
+    name: str
+    faulted: bool
+    events: List[Dict[str, object]]
+
+    @property
+    def terminal(self) -> Dict[str, object]:
+        return self.events[-1] if self.events else {}
+
+    @property
+    def answered(self) -> bool:
+        kind = self.terminal.get("kind")
+        return kind in ("report", "error", "rejected")
+
+    @property
+    def retried(self) -> bool:
+        return any(e.get("kind") == "retry" for e in self.events)
+
+
+@dataclass
+class ServeChaosResult:
+    """The service-level verdict of one :func:`run_serve_chaos` round."""
+
+    outcomes: List[ServeChaosOutcome] = field(default_factory=list)
+    kills: List[int] = field(default_factory=list)
+    #: Names of non-faulted submissions whose served report differed
+    #: from the batch baseline (must be empty).
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def all_answered(self) -> bool:
+        return all(o.answered for o in self.outcomes)
+
+    @property
+    def lost(self) -> List[str]:
+        return [o.name for o in self.outcomes if not o.answered]
+
+    @property
+    def retried(self) -> List[str]:
+        return [o.name for o in self.outcomes if o.retried]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "submissions": len(self.outcomes),
+            "answered": sum(o.answered for o in self.outcomes),
+            "lost": self.lost,
+            "kills": len(self.kills),
+            "retried": self.retried,
+            "mismatches": self.mismatches,
+        }
+
+
+def _report_key(report: Dict[str, object]) -> str:
+    return json.dumps(report, sort_keys=True, default=str)
+
+
+async def run_serve_chaos(
+    daemon,
+    submissions: Sequence[object],
+    profile: DaemonChaosProfile = DaemonChaosProfile(),
+    seed: int = DEFAULT_MONKEY_SEED,
+    baseline: Optional[Dict[str, Dict[str, object]]] = None,
+) -> ServeChaosResult:
+    """Submit everything concurrently while the monkey kills workers.
+
+    ``daemon`` is a started :class:`~repro.serve.server.ServeDaemon`
+    with a unix socket.  ``baseline`` optionally maps submission names
+    to the batch ``RunReport.to_dict()`` expected for them; non-faulted
+    submissions that come back with a different report are recorded as
+    mismatches (the bit-identity check).
+    """
+    from repro.serve.client import submit_async
+
+    monkey = ChaosMonkey(daemon.supervisor, profile, seed)
+    stop = asyncio.Event()
+    monkey_task = asyncio.create_task(monkey.run(stop))
+
+    async def one(submission) -> ServeChaosOutcome:
+        try:
+            events = await submit_async(daemon.unix_path, submission)
+        except Exception as exc:
+            events = [{"kind": "transport-error", "error": str(exc)}]
+        return ServeChaosOutcome(
+            name=submission.name or repr(submission.workload),
+            faulted=submission.options.fault_profile is not None,
+            events=events,
+        )
+
+    outcomes = list(await asyncio.gather(
+        *(one(submission) for submission in submissions)
+    ))
+    stop.set()
+    await monkey_task
+
+    result = ServeChaosResult(outcomes=outcomes, kills=list(monkey.kills))
+    if baseline:
+        for outcome in outcomes:
+            if outcome.faulted or outcome.name not in baseline:
+                continue
+            terminal = outcome.terminal
+            if terminal.get("kind") != "report":
+                continue
+            served = _report_key(terminal["report"])
+            expected = _report_key(baseline[outcome.name])
+            if served != expected:
+                result.mismatches.append(outcome.name)
+    return result

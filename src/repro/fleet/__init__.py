@@ -40,11 +40,13 @@ from repro.fleet.refs import (
     workload_refs,
 )
 from repro.fleet.report import (
+    CANCELLED_PREFIX,
     FLEET_SCHEMA_VERSION,
     FleetReport,
     FleetRunRecord,
 )
 from repro.fleet.worker import (
+    retry_delay,
     retry_reason,
     run_task_with_retry,
     worker_main,
@@ -64,6 +66,8 @@ __all__ = [
     "FleetReport",
     "FleetRunRecord",
     "FLEET_SCHEMA_VERSION",
+    "CANCELLED_PREFIX",
+    "retry_delay",
     "retry_reason",
     "run_task_with_retry",
     "worker_main",

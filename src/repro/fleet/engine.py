@@ -21,12 +21,22 @@ Determinism contract
 Failure containment: a worker that dies without delivering its sentinel
 (segfault, OOM kill) costs only its unfinished tasks — the coordinator
 synthesizes error records for them and the fleet completes.
+
+Graceful shutdown: SIGTERM/SIGINT during :func:`run_fleet` requests a
+*drain* instead of dying mid-merge — workers finish the task they are
+on and skip the rest, the coordinator synthesizes ``cancelled`` records
+for skipped tasks, and the caller still gets a complete, schema-
+versioned :class:`FleetReport` with ``partial=True``.  A second signal
+falls through to the default handler (hard kill) — the escape hatch
+when a drain itself wedges.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import queue as queue_mod
+import signal
+import threading
 import time
 import zlib
 from typing import Dict, List, Optional, Sequence, Union
@@ -35,8 +45,13 @@ from repro.api import Session
 from repro.core.options import RunOptions
 from repro.fleet.merge import merged_telemetry
 from repro.fleet.refs import FleetTask, WorkloadRef, make_tasks
-from repro.fleet.report import FleetReport, FleetRunRecord
-from repro.fleet.worker import DEFAULT_BACKOFF, run_task_with_retry, worker_main
+from repro.fleet.report import CANCELLED_PREFIX, FleetReport, FleetRunRecord
+from repro.fleet.worker import (
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_RETRY_WALL,
+    run_task_with_retry,
+    worker_main,
+)
 
 SHARD_STRATEGIES = ("interleave", "chunk", "name")
 
@@ -98,16 +113,76 @@ def _normalize_tasks(
     return make_tasks(list(work), options)
 
 
+class _DrainGuard:
+    """Install drain-on-signal handlers for the duration of a fleet run.
+
+    First SIGTERM/SIGINT sets the stop event (drain); the handlers are
+    then restored, so a second signal gets the default behavior (hard
+    exit).  Outside the main thread — a fleet launched from a test
+    runner thread or the serve daemon — signal handlers cannot be
+    installed and the guard is inert.
+    """
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self, stop_event) -> None:
+        self.stop_event = stop_event
+        self._saved: Dict[int, object] = {}
+
+    def _on_signal(self, signum, frame) -> None:
+        self.stop_event.set()
+        self.restore()
+
+    def install(self) -> "_DrainGuard":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for sig in self.SIGNALS:
+            try:
+                self._saved[sig] = signal.signal(sig, self._on_signal)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+        return self
+
+    def restore(self) -> None:
+        while self._saved:
+            sig, handler = self._saved.popitem()
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+
+
+def _cancelled_record(task: FleetTask, worker_id: int) -> FleetRunRecord:
+    return FleetRunRecord(
+        index=task.index,
+        name=task.ref.name,
+        worker=worker_id,
+        attempts=0,
+        error=(
+            f"{CANCELLED_PREFIX}: shutdown requested before this task "
+            "started (fleet drained in-flight work)"
+        ),
+    )
+
+
 def _run_serial(
-    tasks: List[FleetTask], max_retries: int, backoff: float
+    tasks: List[FleetTask],
+    max_retries: int,
+    backoff: float,
+    stop_event=None,
+    max_retry_wall: float = DEFAULT_MAX_RETRY_WALL,
 ) -> List[FleetRunRecord]:
     """The workers=1 path: same retry loop, same warm session, in-process."""
     session = Session()
     records = []
     for task in sorted(tasks, key=lambda t: t.index):
+        if stop_event is not None and stop_event.is_set():
+            records.append(_cancelled_record(task, worker_id=0))
+            continue
         wire = run_task_with_retry(
             session, task, worker_id=0,
             max_retries=max_retries, backoff=backoff,
+            max_retry_wall=max_retry_wall,
         )
         records.append(FleetRunRecord.from_wire(wire))
     return records
@@ -128,9 +203,11 @@ def _collect(
     procs: Dict[int, "multiprocessing.process.BaseProcess"],
     assigned: Dict[int, List[FleetTask]],
     result_queue,
+    stop_event=None,
 ) -> List[FleetRunRecord]:
     """Drain the result queue until every worker finished or died."""
     records: Dict[int, FleetRunRecord] = {}
+    clean_exit: set = set()
     done: set = set()
     while len(done) < len(procs):
         try:
@@ -142,13 +219,21 @@ def _collect(
             continue
         if msg.get("kind") == "worker-done":
             done.add(msg["worker"])
+            clean_exit.add(msg["worker"])
         else:
             records[msg["index"]] = FleetRunRecord.from_wire(msg)
-    # Synthesize error records for tasks lost to a dead worker.
+    # Synthesize records for tasks that never reported: cancelled when
+    # their worker drained cleanly after a stop request, error when it
+    # died under them.
+    draining = stop_event is not None and stop_event.is_set()
     for wid, tasks in assigned.items():
-        exit_code = procs[wid].exitcode
         for task in tasks:
-            if task.index not in records:
+            if task.index in records:
+                continue
+            if draining and wid in clean_exit:
+                records[task.index] = _cancelled_record(task, worker_id=wid)
+            else:
+                exit_code = procs[wid].exitcode
                 records[task.index] = FleetRunRecord(
                     index=task.index,
                     name=task.ref.name,
@@ -169,7 +254,9 @@ def run_fleet(
     shard_by: str = "interleave",
     max_retries: int = 1,
     backoff: float = DEFAULT_BACKOFF,
+    max_retry_wall: float = DEFAULT_MAX_RETRY_WALL,
     mp_start_method: Optional[str] = None,
+    stop_event=None,
 ) -> FleetReport:
     """Run a workload set across N processes and merge the results.
 
@@ -177,40 +264,60 @@ def run_fleet(
     all sharing ``options``) or pre-built :class:`FleetTask` items with
     per-task options (seed sweeps).  ``workers`` is clamped to the task
     count; ``workers=1`` runs in-process with identical semantics.
+
+    SIGTERM/SIGINT (or an externally provided ``stop_event``) drains:
+    in-flight tasks finish, skipped ones become ``cancelled`` records,
+    and the merged report comes back with ``partial=True``.  Pass a
+    pre-built event (``multiprocessing.Event()`` — or the matching
+    context's event for a custom ``mp_start_method``) to drive drains
+    programmatically; signal handlers are installed either way when on
+    the main thread.
     """
     started = time.perf_counter()
     tasks = _normalize_tasks(work, options)
     workers = max(1, min(int(workers), len(tasks) or 1))
+    ctx = _mp_context(mp_start_method)
+    if stop_event is None:
+        stop_event = ctx.Event() if workers > 1 else threading.Event()
+    guard = _DrainGuard(stop_event).install()
 
-    if workers == 1:
-        records = _run_serial(tasks, max_retries, backoff)
-    else:
-        ctx = _mp_context(mp_start_method)
-        shards = shard(tasks, workers, shard_by)
-        result_queue = ctx.Queue()
-        procs: Dict[int, object] = {}
-        assigned: Dict[int, List[FleetTask]] = {}
-        for wid, worker_tasks in enumerate(shards):
-            if not worker_tasks:
-                continue
-            proc = ctx.Process(
-                target=worker_main,
-                args=(wid, worker_tasks, result_queue,
-                      max_retries, backoff),
-                daemon=True,
+    try:
+        if workers == 1:
+            records = _run_serial(
+                tasks, max_retries, backoff,
+                stop_event=stop_event, max_retry_wall=max_retry_wall,
             )
-            proc.start()
-            procs[wid] = proc
-            assigned[wid] = worker_tasks
-        try:
-            records = _collect(procs, assigned, result_queue)
-        finally:
-            for proc in procs.values():
-                proc.join(timeout=5.0)
-                if proc.is_alive():
-                    proc.terminate()
+        else:
+            shards = shard(tasks, workers, shard_by)
+            result_queue = ctx.Queue()
+            procs: Dict[int, object] = {}
+            assigned: Dict[int, List[FleetTask]] = {}
+            for wid, worker_tasks in enumerate(shards):
+                if not worker_tasks:
+                    continue
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(wid, worker_tasks, result_queue,
+                          max_retries, backoff, stop_event,
+                          max_retry_wall),
+                    daemon=True,
+                )
+                proc.start()
+                procs[wid] = proc
+                assigned[wid] = worker_tasks
+            try:
+                records = _collect(
+                    procs, assigned, result_queue, stop_event
+                )
+            finally:
+                for proc in procs.values():
                     proc.join(timeout=5.0)
-            result_queue.close()
+                    if proc.is_alive():
+                        proc.terminate()
+                        proc.join(timeout=5.0)
+                result_queue.close()
+    finally:
+        guard.restore()
 
     return FleetReport(
         workers=workers,
@@ -219,4 +326,5 @@ def run_fleet(
         runs=records,
         wall_seconds=time.perf_counter() - started,
         telemetry=merged_telemetry(records),
+        partial=stop_event.is_set(),
     )

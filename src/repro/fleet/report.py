@@ -20,7 +20,13 @@ from repro.telemetry import TelemetrySnapshot
 
 #: Version of the ``FleetReport.to_dict()`` wire format (the per-run
 #: report dicts inside it carry their own ``schema_version``).
-FLEET_SCHEMA_VERSION = 1
+#: v2: added the top-level ``partial`` flag (graceful-shutdown drains
+#: emit a report for the work that finished; cancelled tasks appear as
+#: error records) and ``summary.cancelled``.
+FLEET_SCHEMA_VERSION = 2
+
+#: Error-text prefix of records synthesized for tasks a drain skipped.
+CANCELLED_PREFIX = "cancelled"
 
 
 @dataclass
@@ -49,6 +55,11 @@ class FleetRunRecord:
     @property
     def failed(self) -> bool:
         return self.error is not None or self.report is None
+
+    @property
+    def cancelled(self) -> bool:
+        """True for a record synthesized when a drain skipped the task."""
+        return bool(self.error) and self.error.startswith(CANCELLED_PREFIX)
 
     @property
     def verdict(self) -> Optional[str]:
@@ -97,11 +108,18 @@ class FleetReport:
     wall_seconds: float = 0.0
     #: Merged telemetry across every run that carried a snapshot.
     telemetry: Optional[TelemetrySnapshot] = None
+    #: True when a shutdown signal drained the fleet before every task
+    #: ran; the skipped tasks appear as ``cancelled`` error records.
+    partial: bool = False
 
     @property
     def failures(self) -> List[FleetRunRecord]:
         """Runs that errored out or missed their expected classification."""
         return [r for r in self.runs if r.failed or r.ok is False]
+
+    @property
+    def cancelled(self) -> List[FleetRunRecord]:
+        return [r for r in self.runs if r.cancelled]
 
     @property
     def retried(self) -> List[FleetRunRecord]:
@@ -119,6 +137,7 @@ class FleetReport:
             "shard_by": self.shard_by,
             "max_retries": self.max_retries,
             "wall_seconds": self.wall_seconds,
+            "partial": self.partial,
             "runs": [r.to_dict() for r in self.runs],
             "telemetry": (
                 self.telemetry.to_dict()
@@ -129,6 +148,7 @@ class FleetReport:
                 "total": len(self.runs),
                 "failures": len(self.failures),
                 "retried": len(self.retried),
+                "cancelled": len(self.cancelled),
             },
         }
 
@@ -136,9 +156,13 @@ class FleetReport:
         return json.dumps(self.to_dict(), indent=indent, default=str)
 
     def summary_line(self) -> str:
+        partial = (
+            f", PARTIAL ({len(self.cancelled)} cancelled by shutdown)"
+            if self.partial else ""
+        )
         return (
             f"fleet: {len(self.runs)} runs on {self.workers} worker(s) "
             f"[{self.shard_by}] in {self.wall_seconds:.2f}s — "
             f"{len(self.failures)} failure(s), "
-            f"{len(self.retried)} retried"
+            f"{len(self.retried)} retried{partial}"
         )

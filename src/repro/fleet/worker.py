@@ -10,28 +10,54 @@ sweep gets, without sharing any mutable machine state between runs.
 Retry policy (:func:`run_task_with_retry`): a run whose result reason is
 ``watchdog`` (wall-clock stall) or that recorded contained
 ``MonitorFault``s is scheduling noise, not a property of the workload —
-it is retried up to ``max_retries`` times with linear backoff, on a
-fresh machine each attempt.  Deterministic outcomes (verdicts, rule
-firings) are never retried; a genuinely wedged workload exhausts its
-retries and surfaces as a failed record with its retry history intact.
+it is retried up to ``max_retries`` times, on a fresh machine each
+attempt.  Deterministic outcomes (verdicts, rule firings) are never
+retried; a genuinely wedged workload exhausts its retries and surfaces
+as a failed record with its retry history intact.
+
+Retry *timing* is deterministic too (:func:`retry_delay`): the delay is
+an exponential base with jitter derived from the task's fault seed,
+index, and attempt number — not from ``random`` — so a chaos sweep
+replays with a bit-identical schedule.  ``max_retry_wall`` caps the
+*planned* total of those delays per task; because the plan is
+deterministic, where a sweep gives up is reproducible as well.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
+import zlib
 from typing import Callable, List, Optional
 
 from repro.api import Session
 from repro.core.report import RunReport
 from repro.fleet.refs import FleetTask
 
-#: Linear backoff base between retry attempts, seconds.
+#: Exponential backoff base between retry attempts, seconds.
 DEFAULT_BACKOFF = 0.05
+#: Cap on the summed planned retry delays per task, seconds.
+DEFAULT_MAX_RETRY_WALL = 30.0
 
 RETRY_WATCHDOG = "watchdog"
 RETRY_MONITOR_FAULT = "monitor-fault"
 RETRY_ERROR = "error"
+
+
+def retry_delay(
+    backoff: float, attempt: int, seed: int = 0, index: int = 0
+) -> float:
+    """The planned sleep before retrying ``attempt`` (1-based).
+
+    Exponential in the attempt number, with a deterministic jitter
+    fraction in [0, 1) hashed from ``(seed, index, attempt)`` — the
+    task's fault seed and position, so concurrent retries desynchronize
+    without consulting a random source.  Bit-identical across replays.
+    """
+    if backoff <= 0:
+        return 0.0
+    frac = zlib.crc32(f"{seed}:{index}:{attempt}".encode()) / 2.0 ** 32
+    return backoff * (2.0 ** max(attempt - 1, 0)) * (1.0 + frac)
 
 
 def retry_reason(report: RunReport) -> Optional[str]:
@@ -53,6 +79,7 @@ def run_task_with_retry(
     worker_id: int = 0,
     max_retries: int = 1,
     backoff: float = DEFAULT_BACKOFF,
+    max_retry_wall: float = DEFAULT_MAX_RETRY_WALL,
     sleep: Callable[[float], None] = time.sleep,
     runner: Optional[Callable[..., RunReport]] = None,
 ) -> dict:
@@ -60,7 +87,9 @@ def run_task_with_retry(
 
     ``runner(workload, options, telemetry)`` is injectable so the retry
     path is unit-testable without multiprocessing or a real stall; the
-    default runs through the session's warm engine.
+    default runs through the session's warm engine.  Retries stop early
+    once the *planned* backoff total would exceed ``max_retry_wall``
+    (a deterministic budget — see :func:`retry_delay`).
     """
     started = time.perf_counter()
     retries: List[str] = []
@@ -81,6 +110,7 @@ def run_task_with_retry(
         )
 
     attempt = 0
+    planned_wall = 0.0
     while workload is not None and attempt <= max_retries:
         attempt += 1
         error = None
@@ -98,9 +128,16 @@ def run_task_with_retry(
         if reason is None:
             break
         if attempt <= max_retries:
+            delay = retry_delay(
+                backoff, attempt,
+                seed=task.options.fault_seed, index=task.index,
+            )
+            if planned_wall + delay > max_retry_wall:
+                break  # retry budget spent; the last outcome stands
+            planned_wall += delay
             retries.append(reason)
-            if backoff > 0:
-                sleep(backoff * attempt)
+            if delay > 0:
+                sleep(delay)
 
     if report is not None and workload is not None:
         ok = workload.classified_correctly(report)
@@ -128,21 +165,32 @@ def worker_main(
     queue,
     max_retries: int = 1,
     backoff: float = DEFAULT_BACKOFF,
+    stop_event=None,
+    max_retry_wall: float = DEFAULT_MAX_RETRY_WALL,
 ) -> None:
     """Process entrypoint: drain a shard, stream records, then a sentinel.
 
     Records stream as each task finishes (the coordinator shows progress
     and merges incrementally); the final ``worker-done`` message carries
     the worker's warm-engine statistics for the fleet summary.
+
+    ``stop_event`` is the coordinator's drain request (SIGTERM/SIGINT):
+    when set, the worker finishes the task it is on, skips the rest of
+    its shard, and sends its sentinel — the coordinator synthesizes
+    ``cancelled`` records for the skipped tasks and marks the fleet
+    report partial.
     """
     session = Session()
     for task in tasks:
+        if stop_event is not None and stop_event.is_set():
+            break
         record = run_task_with_retry(
             session,
             task,
             worker_id=worker_id,
             max_retries=max_retries,
             backoff=backoff,
+            max_retry_wall=max_retry_wall,
         )
         queue.put(record)
     queue.put({

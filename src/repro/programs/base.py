@@ -60,6 +60,7 @@ class Workload:
         taint_fastpath: bool = UNSET,
         options: Optional[RunOptions] = None,
         engine=None,
+        analyzer=None,
     ) -> "HTH":  # noqa: F821
         from repro.core.hth import HTH
 
@@ -90,6 +91,7 @@ class Workload:
             telemetry=telemetry,
             options=options,
             engine=engine,
+            analyzer=analyzer,
         )
         if self.setup is not None:
             self.setup(hth)
@@ -106,6 +108,7 @@ class Workload:
         taint_fastpath: bool = UNSET,
         options: Optional[RunOptions] = None,
         engine=None,
+        analyzer=None,
     ) -> RunReport:
         options = fold_legacy_flags(
             "Workload.run", options,
@@ -118,6 +121,7 @@ class Workload:
             telemetry=telemetry,
             options=options,
             engine=engine,
+            analyzer=analyzer,
         )
         return hth.run(
             self.image(engine=engine),

@@ -1,0 +1,92 @@
+"""Live warning streaming: tap Secpert's advice as it fires.
+
+The batch stack only surfaces warnings in the final
+:class:`~repro.core.report.RunReport`; the serve daemon's promise is
+run-*time* monitoring — a warning reaches the submitting client while
+the guest is still executing.  :class:`TapAnalyzer` is the whole
+mechanism: it wraps the real analyzer (Secpert), forwards every event
+unchanged, and calls a callback for each warning the inner analyzer
+produces, in firing order.
+
+The tap is observably transparent to the run itself: ``analyze`` returns
+exactly the inner analyzer's warnings (so kill decisions are unchanged),
+and the report-facing surfaces (``warnings``, ``quarantined_rules``,
+``secpert``, ``attach_telemetry``) delegate — a tapped run's RunReport
+is bit-identical to an untapped one.  A raising callback must never
+take down the monitor, so callback errors are swallowed after the first
+(the stream just goes quiet, the run completes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.harrier.analyzer import EventAnalyzer
+from repro.harrier.events import SecurityEvent
+from repro.secpert.secpert import Secpert
+from repro.secpert.warnings import SecurityWarning
+
+WarningCallback = Callable[[int, SecurityWarning], None]
+
+
+def warning_to_wire(warning: SecurityWarning) -> dict:
+    """The JSON-safe shape of one streamed warning (matches the warning
+    entries inside ``RunReport.to_dict()``, plus the advice lines)."""
+    return {
+        "rule": warning.rule,
+        "severity": warning.severity.label(),
+        "headline": warning.headline,
+        "details": [str(d) for d in warning.details],
+        "pid": warning.pid,
+        "time": warning.time,
+    }
+
+
+class TapAnalyzer(EventAnalyzer):
+    """Wrap an analyzer; invoke ``on_warning(seq, warning)`` per warning."""
+
+    def __init__(
+        self,
+        inner: EventAnalyzer,
+        on_warning: WarningCallback,
+    ) -> None:
+        self.inner = inner
+        self.on_warning = on_warning
+        self.emitted = 0
+        self.callback_broken = False
+
+    # -- EventAnalyzer -----------------------------------------------------
+    def analyze(self, event: SecurityEvent) -> Sequence[SecurityWarning]:
+        warnings = self.inner.analyze(event)
+        for warning in warnings:
+            seq = self.emitted
+            self.emitted += 1
+            if not self.callback_broken:
+                try:
+                    self.on_warning(seq, warning)
+                except Exception:
+                    # The stream is best-effort; the run (and its final
+                    # report, which carries every warning) must survive
+                    # a dead client or a full pipe.
+                    self.callback_broken = True
+        return warnings
+
+    # -- report-facing delegation -----------------------------------------
+    @property
+    def warnings(self) -> List[SecurityWarning]:
+        return getattr(self.inner, "warnings", [])
+
+    @property
+    def quarantined_rules(self) -> List[str]:
+        return list(getattr(self.inner, "quarantined_rules", []))
+
+    @property
+    def secpert(self) -> Optional[Secpert]:
+        if isinstance(self.inner, Secpert):
+            return self.inner
+        return getattr(self.inner, "secpert", None)
+
+    def attach_telemetry(self, telemetry) -> None:
+        attach = getattr(self.inner, "attach_telemetry", None)
+        if attach is not None:
+            attach(telemetry)

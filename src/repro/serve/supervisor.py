@@ -1,0 +1,587 @@
+"""The worker supervisor: dispatch, health-check, contain, restart.
+
+The serve daemon's execution layer is a pool of warm worker *processes*
+(:func:`repro.serve.worker.serve_worker_main`).  Processes, not threads,
+for the same reason the fleet uses them — a guest run that wedges the
+interpreter or a monitor bug that corrupts state must be killable
+without taking the daemon down.  The supervisor owns the pool and turns
+process-level failure into protocol-level answers:
+
+* **dispatch** — one job per worker at a time; new work is only accepted
+  when a worker is idle (the *bounded* admission queue upstream holds
+  everything else).
+* **health checks** — a monitor thread watches process liveness and
+  per-job deadlines; a worker that blows its submission's deadline is
+  killed outright (the guest's virtual-time budget normally ends runs
+  long before this — a blown wall deadline means the machine, not the
+  guest, is stuck).
+* **containment** — a crashed or killed worker's in-flight job is either
+  retried on another attempt (crashes are transient machine faults, the
+  same reasoning as the fleet's watchdog retries) or answered with a
+  synthesized terminal ``error`` event.  Never silently dropped.
+* **self-healing** — dead workers are respawned with exponential
+  backoff (``restart_backoff`` doubling up to ``restart_backoff_max``);
+  a worker that keeps dying parks progressively longer, shrinking pool
+  capacity gracefully instead of crash-looping.  A successful job
+  resets the backoff.
+
+Retry backoff is deterministic: the delay is derived from the job id
+and attempt number (crc32 jitter over an exponential base), so a chaos
+run replays with the same schedule.
+
+Threading model: a *pump* thread drains the shared result queue and a
+*monitor* thread enforces deadlines/liveness/restarts; both serialize
+on one lock.  Event callbacks (``on_event``, ``on_idle``) fire from
+these threads — the asyncio server bridges them with
+``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_mod
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.serve.worker import serve_worker_main
+
+#: Default per-submission wall deadline, seconds.
+DEFAULT_JOB_TIMEOUT = 60.0
+#: Base/ceiling of the exponential worker-restart backoff, seconds.
+DEFAULT_RESTART_BACKOFF = 0.1
+DEFAULT_RESTART_BACKOFF_MAX = 5.0
+#: Base of the deterministic job-retry backoff, seconds.
+DEFAULT_RETRY_BACKOFF = 0.05
+
+STATE_STARTING = "starting"
+STATE_IDLE = "idle"
+STATE_BUSY = "busy"
+STATE_RESTARTING = "restarting"
+STATE_STOPPED = "stopped"
+
+#: Failure kinds a worker death is attributed to.
+FAIL_CRASH = "worker-crash"
+FAIL_TIMEOUT = "timeout"
+FAIL_SHUTDOWN = "shutting-down"
+
+
+def retry_delay(base: float, attempt: int, key: str) -> float:
+    """Deterministic exponential backoff with keyed jitter.
+
+    ``crc32(key:attempt)`` supplies a reproducible jitter fraction in
+    [0, 1), so two runs of the same chaos schedule sleep identically.
+    """
+    frac = zlib.crc32(f"{key}:{attempt}".encode()) / 2.0 ** 32
+    return base * (2.0 ** max(attempt - 1, 0)) * (1.0 + frac)
+
+
+def _mp_context(name: Optional[str] = None):
+    if name is not None:
+        return multiprocessing.get_context(name)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass
+class _Job:
+    id: str
+    spec: Dict[str, object]
+    on_event: Callable[[Dict[str, object]], None]
+    timeout: float
+    max_retries: int
+    stream: bool = True
+    attempt: int = 0
+    submitted_at: float = 0.0
+    dispatched_at: float = 0.0
+    retry_at: float = 0.0
+    done: bool = False
+
+
+@dataclass
+class _Worker:
+    wid: int
+    proc: Optional[object] = None
+    job_queue: Optional[object] = None
+    state: str = STATE_STARTING
+    job: Optional[_Job] = None
+    busy_since: float = 0.0
+    consecutive_failures: int = 0
+    restart_at: float = 0.0
+    jobs_done: int = 0
+    restarts: int = 0
+
+
+class Supervisor:
+    """A supervised pool of serve workers (see module docstring)."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        job_timeout: float = DEFAULT_JOB_TIMEOUT,
+        max_retries: int = 1,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        restart_backoff: float = DEFAULT_RESTART_BACKOFF,
+        restart_backoff_max: float = DEFAULT_RESTART_BACKOFF_MAX,
+        metrics=None,
+        mp_start_method: Optional[str] = None,
+        poll_interval: float = 0.02,
+        on_idle: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_max = restart_backoff_max
+        self.poll_interval = poll_interval
+        self.on_idle = on_idle
+        self._metrics = metrics
+        self._ctx = _mp_context(mp_start_method)
+        self._result_queue = self._ctx.Queue()
+        self._lock = threading.RLock()
+        self._workers: Dict[int, _Worker] = {
+            wid: _Worker(wid=wid) for wid in range(workers)
+        }
+        self._jobs: Dict[str, _Job] = {}
+        self._retries: List[_Job] = []
+        self._job_ids = itertools.count()
+        self._stopping = threading.Event()
+        self._pump_thread: Optional[threading.Thread] = None
+        self._monitor_thread: Optional[threading.Thread] = None
+        self.started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self.started:
+                return
+            self.started = True
+            for worker in self._workers.values():
+                self._spawn(worker)
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="serve-pump", daemon=True
+        )
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="serve-monitor", daemon=True
+        )
+        self._pump_thread.start()
+        self._monitor_thread.start()
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop the pool.  In-flight jobs are answered with a terminal
+        ``shutting-down`` error (drain first for a graceful exit)."""
+        self._stopping.set()
+        terminal: List[_Job] = []
+        with self._lock:
+            for worker in self._workers.values():
+                if worker.job is not None and not worker.job.done:
+                    terminal.append(worker.job)
+                    worker.job = None
+                if worker.job_queue is not None:
+                    try:
+                        worker.job_queue.put_nowait(None)
+                    except Exception:
+                        pass
+            for job in self._retries:
+                if not job.done:
+                    terminal.append(job)
+            self._retries.clear()
+        for job in terminal:
+            self._finish(job, {
+                "kind": "error",
+                "code": FAIL_SHUTDOWN,
+                "error": "daemon shutting down before this job finished",
+            })
+        deadline = time.monotonic() + join_timeout
+        for worker in self._workers.values():
+            proc = worker.proc
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            worker.state = STATE_STOPPED
+        for thread in (self._pump_thread, self._monitor_thread):
+            if thread is not None:
+                thread.join(timeout=join_timeout)
+        self._result_queue.close()
+        self._sample_workers()
+
+    # -- submission --------------------------------------------------------
+    def next_job_id(self) -> str:
+        return f"job-{next(self._job_ids)}"
+
+    def try_submit(
+        self,
+        spec: Dict[str, object],
+        on_event: Callable[[Dict[str, object]], None],
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        job_id: Optional[str] = None,
+        stream: bool = True,
+    ) -> Optional[str]:
+        """Dispatch one job if a worker is idle; return its id or None.
+
+        ``None`` means "no capacity right now" — the caller keeps the
+        submission queued and waits for an idle signal.  Pending retries
+        have priority over new work, so a retrying job is never starved
+        by fresh traffic.
+        """
+        if self._stopping.is_set():
+            return None
+        with self._lock:
+            now = time.monotonic()
+            if any(j.retry_at <= now for j in self._retries):
+                return None
+            worker = self._idle_worker()
+            if worker is None:
+                return None
+            job = _Job(
+                id=job_id if job_id is not None else self.next_job_id(),
+                spec=spec,
+                on_event=on_event,
+                timeout=timeout if timeout is not None else self.job_timeout,
+                max_retries=(
+                    max_retries if max_retries is not None
+                    else self.max_retries
+                ),
+                stream=stream,
+                submitted_at=now,
+            )
+            self._jobs[job.id] = job
+            self._dispatch(worker, job)
+            return job.id
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def idle_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for w in self._workers.values() if w.state == STATE_IDLE
+            )
+
+    def live_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for w in self._workers.values()
+                if w.proc is not None and w.proc.is_alive()
+            )
+
+    def kill_worker(self, wid: int) -> bool:
+        """Hard-kill one worker process (the chaos monkey's lever).
+
+        Containment and restart then run through the exact same monitor
+        path as an organic crash.
+        """
+        with self._lock:
+            worker = self._workers.get(wid)
+            if worker is None or worker.proc is None:
+                return False
+            if not worker.proc.is_alive():
+                return False
+            worker.proc.kill()
+            return True
+
+    def busy_worker_ids(self) -> List[int]:
+        with self._lock:
+            return [
+                w.wid for w in self._workers.values()
+                if w.state == STATE_BUSY
+            ]
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "workers": {
+                    w.wid: {
+                        "state": w.state,
+                        "jobs_done": w.jobs_done,
+                        "restarts": w.restarts,
+                        "alive": bool(w.proc is not None
+                                      and w.proc.is_alive()),
+                    }
+                    for w in self._workers.values()
+                },
+                "in_flight": len(self._jobs),
+                "pending_retries": len(self._retries),
+            }
+
+    # -- internals ---------------------------------------------------------
+    def _idle_worker(self) -> Optional[_Worker]:
+        for worker in self._workers.values():
+            if worker.state == STATE_IDLE:
+                return worker
+        return None
+
+    def _spawn(self, worker: _Worker) -> None:
+        worker.job_queue = self._ctx.Queue()
+        worker.proc = self._ctx.Process(
+            target=serve_worker_main,
+            args=(worker.wid, worker.job_queue, self._result_queue),
+            daemon=True,
+        )
+        worker.state = STATE_STARTING
+        worker.job = None
+        worker.proc.start()
+        self._sample_workers()
+
+    def _dispatch(self, worker: _Worker, job: _Job) -> None:
+        job.attempt += 1
+        job.dispatched_at = time.monotonic()
+        worker.job = job
+        worker.state = STATE_BUSY
+        worker.busy_since = job.dispatched_at
+        worker.job_queue.put({
+            "id": job.id,
+            "attempt": job.attempt,
+            "spec": job.spec,
+            "stream": job.stream,
+        })
+        self._sample_workers()
+
+    def _sample_workers(self) -> None:
+        if self._metrics is None:
+            return
+        active = sum(
+            1 for w in self._workers.values()
+            if w.state in (STATE_IDLE, STATE_BUSY, STATE_STARTING)
+        )
+        self._metrics.gauge("serve_active_workers").set(active)
+
+    def _observe_latency(self, job: _Job) -> Dict[str, float]:
+        now = time.monotonic()
+        queue_wait = max(0.0, job.dispatched_at - job.submitted_at)
+        exec_seconds = max(0.0, now - job.dispatched_at)
+        total = max(0.0, now - job.submitted_at)
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "serve_latency_seconds", stage="queue"
+            ).observe(queue_wait)
+            self._metrics.histogram(
+                "serve_latency_seconds", stage="exec"
+            ).observe(exec_seconds)
+            self._metrics.histogram(
+                "serve_latency_seconds", stage="total"
+            ).observe(total)
+        return {
+            "queue_wait": queue_wait,
+            "exec": exec_seconds,
+            "total": total,
+            "attempts": job.attempt,
+        }
+
+    def _finish(self, job: _Job, event: Dict[str, object]) -> None:
+        """Deliver a terminal event for ``job`` exactly once."""
+        with self._lock:
+            if job.done:
+                return
+            job.done = True
+            self._jobs.pop(job.id, None)
+            timing = self._observe_latency(job)
+        event = dict(event)
+        event["job"] = job.id
+        event["timing"] = timing
+        if self._metrics is not None:
+            self._metrics.counter(
+                "serve_jobs_completed_total", kind=str(event["kind"])
+            ).inc()
+        try:
+            job.on_event(event)
+        except Exception:
+            pass
+
+    def _forward(self, job: _Job, event: Dict[str, object]) -> None:
+        try:
+            job.on_event(event)
+        except Exception:
+            pass
+
+    # -- pump thread -------------------------------------------------------
+    def _pump(self) -> None:
+        while not (self._stopping.is_set() and self._result_queue.empty()):
+            try:
+                msg = self._result_queue.get(timeout=self.poll_interval)
+            except (queue_mod.Empty, OSError, ValueError):
+                if self._stopping.is_set():
+                    return
+                continue
+            self._handle_message(msg)
+
+    def _handle_message(self, msg: Dict[str, object]) -> None:
+        kind = msg.get("kind")
+        wid = msg.get("worker")
+        became_idle = False
+        with self._lock:
+            worker = self._workers.get(wid)
+            if worker is None:
+                return
+            if kind == "ready":
+                if worker.state != STATE_STOPPED:
+                    worker.state = STATE_IDLE
+                    worker.job = None
+                    became_idle = True
+                self._sample_workers()
+            elif kind == "bye":
+                worker.state = STATE_STOPPED
+                self._sample_workers()
+            elif kind in ("warning", "start", "result", "error"):
+                job = self._jobs.get(msg.get("job"))
+                if job is None or job.done:
+                    return
+                if msg.get("attempt") != job.attempt:
+                    return  # stale message from a killed attempt
+                if kind == "warning":
+                    self._forward(job, {
+                        "kind": "warning",
+                        "job": job.id,
+                        "seq": msg["seq"],
+                        "warning": msg["warning"],
+                    })
+                    return
+                if kind == "start":
+                    return
+                # result / error: terminal
+                if worker.job is job:
+                    worker.job = None
+                    worker.consecutive_failures = 0
+                    worker.jobs_done += 1
+        if kind == "result":
+            self._finish(job, {
+                "kind": "report",
+                "report": msg["report"],
+                "ok": msg.get("ok"),
+                "worker": wid,
+            })
+        elif kind == "error":
+            self._finish(job, {
+                "kind": "error",
+                "code": "run-error",
+                "error": msg["error"],
+                "worker": wid,
+            })
+        if became_idle and self.on_idle is not None:
+            try:
+                self.on_idle()
+            except Exception:
+                pass
+
+    # -- monitor thread ----------------------------------------------------
+    def _monitor(self) -> None:
+        while not self._stopping.is_set():
+            self._tick()
+            time.sleep(self.poll_interval)
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        failed: List[tuple] = []
+        idle_signal = False
+        with self._lock:
+            for worker in self._workers.values():
+                if worker.state in (STATE_STOPPED, STATE_RESTARTING):
+                    if (
+                        worker.state == STATE_RESTARTING
+                        and now >= worker.restart_at
+                        and not self._stopping.is_set()
+                    ):
+                        self._spawn(worker)
+                    continue
+                proc = worker.proc
+                if proc is not None and not proc.is_alive():
+                    failed.append((worker, FAIL_CRASH, proc.exitcode))
+                    self._schedule_restart(worker, now)
+                    continue
+                if (
+                    worker.state == STATE_BUSY
+                    and worker.job is not None
+                    and now - worker.busy_since > worker.job.timeout
+                ):
+                    # Deadline blown: the machine is stuck, not the
+                    # guest (virtual budgets end guest runs).  Kill and
+                    # recycle the worker; the job is handled below.
+                    proc.kill()
+                    failed.append((worker, FAIL_TIMEOUT, None))
+                    self._schedule_restart(worker, now)
+            # Re-dispatch ready retries onto idle workers.
+            for job in list(self._retries):
+                if job.retry_at > now or job.done:
+                    continue
+                worker = self._idle_worker()
+                if worker is None:
+                    break
+                self._retries.remove(job)
+                self._dispatch(worker, job)
+            if not self._retries and self._idle_worker() is not None:
+                idle_signal = True
+
+        for worker, fail_kind, exitcode in failed:
+            self._contain_failure(worker, fail_kind, exitcode)
+        if idle_signal and self.on_idle is not None:
+            try:
+                self.on_idle()
+            except Exception:
+                pass
+
+    def _schedule_restart(self, worker: _Worker, now: float) -> None:
+        worker.consecutive_failures += 1
+        worker.restarts += 1
+        delay = min(
+            self.restart_backoff
+            * (2.0 ** (worker.consecutive_failures - 1)),
+            self.restart_backoff_max,
+        )
+        worker.restart_at = now + delay
+        worker.state = STATE_RESTARTING
+        if self._metrics is not None:
+            self._metrics.counter("serve_worker_restarts_total").inc()
+        self._sample_workers()
+
+    def _contain_failure(
+        self, worker: _Worker, fail_kind: str, exitcode
+    ) -> None:
+        """Answer or retry the job a dead/killed worker was holding."""
+        with self._lock:
+            job = worker.job
+            worker.job = None
+            if job is None or job.done:
+                return
+            if job.attempt <= job.max_retries:
+                job.retry_at = time.monotonic() + retry_delay(
+                    self.retry_backoff, job.attempt, job.id
+                )
+                self._retries.append(job)
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "serve_retries_total", reason=fail_kind
+                    ).inc()
+                retry_event = {
+                    "kind": "retry",
+                    "job": job.id,
+                    "reason": fail_kind,
+                    "attempt": job.attempt,
+                }
+                self._forward(job, retry_event)
+                return
+        detail = (
+            f"worker {worker.wid} exceeded the {job.timeout:.1f}s deadline"
+            if fail_kind == FAIL_TIMEOUT
+            else f"worker {worker.wid} died (exit code {exitcode})"
+        )
+        self._finish(job, {
+            "kind": "error",
+            "code": fail_kind,
+            "error": (
+                f"{detail} after {job.attempt} attempt(s); "
+                "synthesized MONITOR_FAULT record"
+            ),
+            "worker": worker.wid,
+        })

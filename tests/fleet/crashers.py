@@ -1,0 +1,72 @@
+"""Hostile test workloads: rows that kill or stall their worker.
+
+A normal registry row misbehaves at the *guest* level; these rows
+misbehave at the *process* level — ``os._exit`` mid-task (the shape of
+a segfault or an OOM kill, unreachable for ``except``) and slow setup
+stalls (to hold a worker busy while a drain or a chaos monkey acts).
+They live in the test tree, not the package: referencing them through
+:class:`~repro.fleet.refs.WorkloadRef` (module ``tests.fleet.crashers``)
+also proves refs resolve outside ``repro.programs``.
+"""
+
+import os
+import time
+
+from repro.programs.base import Workload
+
+_BENIGN_SRC = """
+main:
+    mov eax, 0
+    ret
+"""
+
+#: Exit code the crasher dies with (shows up in synthesized records).
+CRASH_EXIT_CODE = 23
+
+#: Wall seconds each sleepy row stalls before its (instant) guest run.
+SLEEP_SECONDS = 0.3
+
+
+def _die(hth) -> None:
+    # Give the mp.Queue feeder thread a beat to flush records already
+    # streamed for earlier tasks — the test asserts the crash costs
+    # exactly one task, which needs those puts actually on the wire.
+    time.sleep(0.25)
+    os._exit(CRASH_EXIT_CODE)
+
+
+def _nap(hth) -> None:
+    time.sleep(SLEEP_SECONDS)
+
+
+def crasher_workloads():
+    """Rows 'ok-before' / 'worker-killer' / 'ok-after': the middle one
+    takes its whole worker process down mid-task."""
+    return [
+        Workload(
+            name="ok-before", program_path="/bin/ok1", source=_BENIGN_SRC,
+            description="plain benign row sharded before the crash",
+        ),
+        Workload(
+            name="worker-killer", program_path="/bin/crash",
+            source=_BENIGN_SRC, setup=_die,
+            description="os._exit mid-task: no sentinel, no record",
+        ),
+        Workload(
+            name="ok-after", program_path="/bin/ok2", source=_BENIGN_SRC,
+            description="plain benign row sharded after the crash",
+        ),
+    ]
+
+
+def sleepy_workloads(count: int = 6):
+    """``count`` benign rows that each stall SLEEP_SECONDS in setup —
+    long enough for a drain signal to land mid-sweep."""
+    return [
+        Workload(
+            name=f"sleepy-{i}", program_path=f"/bin/sleepy{i}",
+            source=_BENIGN_SRC, setup=_nap,
+            description="stalls in setup, then runs instantly",
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,141 @@
+"""Dead-worker containment and graceful fleet shutdown, end to end.
+
+Containment: a worker that ``os._exit``s mid-task (a real process
+death — no Python unwinding, no sentinel) must cost only its unfinished
+tasks: the coordinator synthesizes error records for them, keeps every
+other record, preserves task-index order, and returns without hanging.
+
+Graceful shutdown: a drain request (signal or programmatic stop event)
+mid-sweep must still produce a complete, ordered, schema-versioned
+FleetReport — in-flight tasks finish, skipped tasks surface as
+``cancelled`` records, and ``partial=True``.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.options import RunOptions
+from repro.fleet import WorkloadRef, make_tasks, run_fleet
+from tests.fleet.crashers import CRASH_EXIT_CODE, SLEEP_SECONDS
+
+CRASHERS = [
+    WorkloadRef("tests.fleet.crashers", "crasher_workloads", name)
+    for name in ("ok-before", "worker-killer", "ok-after")
+]
+
+
+def _sleepy_refs(count=6):
+    return [
+        WorkloadRef("tests.fleet.crashers", "sleepy_workloads", f"sleepy-{i}")
+        for i in range(count)
+    ]
+
+
+class TestDeadWorkerContainment:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        # One worker owns the whole shard: the crash also strands
+        # 'ok-after', exercising multi-task record synthesis.
+        return run_fleet(CRASHERS, workers=2, shard_by="chunk")
+
+    def test_no_hang_and_no_lost_tasks(self, fleet):
+        assert [r.index for r in fleet.runs] == [0, 1, 2]
+        assert [r.name for r in fleet.runs] == [
+            "ok-before", "worker-killer", "ok-after"
+        ]
+
+    def test_crash_synthesizes_error_records(self, fleet):
+        killer = fleet.runs[1]
+        assert killer.failed
+        assert f"exit code {CRASH_EXIT_CODE}" in killer.error
+        assert killer.report is None
+
+    def test_stranded_shardmate_also_contained(self, fleet):
+        # chunk sharding puts ok-before+worker-killer on worker 0; the
+        # crash happens before ok-after's worker is affected — ok-after
+        # lives on worker 1 and must be fine, while any task stranded
+        # behind the crash on worker 0 gets a synthesized record.
+        ok_before, killer, ok_after = fleet.runs
+        assert killer.worker == ok_before.worker  # chunk: [0,1] | [2]
+        assert not ok_before.failed
+        assert ok_before.report["verdict"] == "benign"
+        assert not ok_after.failed
+
+    def test_fleet_completes_with_verdicts_for_survivors(self, fleet):
+        assert not fleet.partial
+        survivors = [r for r in fleet.runs if not r.failed]
+        assert {r.report["verdict"] for r in survivors} == {"benign"}
+
+    def test_interleave_isolates_the_crash(self):
+        # interleave over 2 workers: worker 0 gets [ok-before, ok-after],
+        # worker 1 gets [worker-killer] alone — only the killer's record
+        # is synthesized, nothing else is collateral damage.
+        fleet = run_fleet(CRASHERS, workers=2, shard_by="interleave")
+        by_name = {r.name: r for r in fleet.runs}
+        assert by_name["worker-killer"].failed
+        assert not by_name["ok-before"].failed
+        assert not by_name["ok-after"].failed
+
+
+class TestGracefulShutdown:
+    def test_preset_stop_event_cancels_everything(self):
+        import multiprocessing
+
+        stop = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        ).Event()
+        stop.set()
+        fleet = run_fleet(_sleepy_refs(4), workers=2, stop_event=stop)
+        assert fleet.partial
+        assert [r.index for r in fleet.runs] == [0, 1, 2, 3]
+        assert all(r.cancelled for r in fleet.runs)
+        data = fleet.to_dict()
+        assert data["schema_version"] == 2
+        assert data["partial"] is True
+        assert data["summary"]["cancelled"] == 4
+
+    def test_sigint_mid_sweep_drains_and_reports(self):
+        # A real SIGINT to our own pid while the fleet is mid-sweep:
+        # the in-flight tasks finish, the rest come back cancelled, and
+        # run_fleet returns a partial report instead of raising
+        # KeyboardInterrupt mid-merge.
+        refs = _sleepy_refs(6)
+        timer = threading.Timer(
+            SLEEP_SECONDS * 1.5, os.kill, (os.getpid(), signal.SIGINT)
+        )
+        timer.start()
+        try:
+            fleet = run_fleet(refs, workers=2, shard_by="chunk")
+        finally:
+            timer.cancel()
+        assert fleet.partial
+        assert [r.index for r in fleet.runs] == list(range(6))
+        finished = [r for r in fleet.runs if not r.failed]
+        cancelled = [r for r in fleet.runs if r.cancelled]
+        assert len(finished) + len(cancelled) == 6
+        assert finished, "in-flight tasks should have been drained"
+        assert cancelled, "later tasks should have been cancelled"
+        # drain restored the previous SIGINT handler
+        assert signal.getsignal(signal.SIGINT) is not None
+
+    def test_serial_path_honors_stop_event(self):
+        stop = threading.Event()
+        refs = _sleepy_refs(3)
+
+        # Flip the stop event from a watcher thread once the sweep is
+        # underway; serial mode checks it between tasks.
+        flipper = threading.Timer(SLEEP_SECONDS / 2, stop.set)
+        flipper.start()
+        try:
+            fleet = run_fleet(refs, workers=1, stop_event=stop)
+        finally:
+            flipper.cancel()
+        assert fleet.partial
+        assert len(fleet.runs) == 3
+        assert fleet.runs[0].report is not None      # finished in-flight
+        assert fleet.runs[-1].cancelled              # drained

@@ -19,6 +19,7 @@ from repro.fleet import (
     FleetTask,
     WorkloadRef,
     make_tasks,
+    retry_delay,
     retry_reason,
     run_fleet,
     run_task_with_retry,
@@ -126,7 +127,8 @@ class TestRetry:
         )
         assert record["attempts"] == 2
         assert record["retries"] == ["watchdog"]
-        assert sleeps == [0.01]          # linear backoff, attempt 1
+        # deterministic jittered backoff, attempt 1
+        assert sleeps == [retry_delay(0.01, 1, seed=0, index=0)]
         assert record["report"]["result"]["reason"] != "watchdog"
         assert record["ok"] is True
 
@@ -150,7 +152,11 @@ class TestRetry:
         )
         assert record["attempts"] == 3
         assert record["retries"] == ["watchdog", "watchdog"]
-        assert sleeps == [0.01, 0.02]    # backoff grows linearly
+        # deterministic jittered backoff, exponential base
+        assert sleeps == [
+            retry_delay(0.01, 1, seed=0, index=0),
+            retry_delay(0.01, 2, seed=0, index=0),
+        ]
         assert record["report"]["result"]["reason"] == "watchdog"
 
     def test_exception_retried_then_succeeds(self, good_report):
@@ -221,7 +227,9 @@ class TestFleetDeterminism:
     def test_per_run_reports_carry_schema_version(self):
         fleet = run_fleet([ELM], workers=1)
         assert fleet.runs[0].report["schema_version"] == 1
-        assert fleet.to_dict()["schema_version"] == 1
+        # fleet wire format v2: adds the partial-drain flag
+        assert fleet.to_dict()["schema_version"] == 2
+        assert fleet.to_dict()["partial"] is False
 
     def test_workers_clamped_to_task_count(self):
         fleet = run_fleet([ELM], workers=8)

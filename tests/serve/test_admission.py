@@ -1,0 +1,156 @@
+"""Admission control under a fake clock: every decision deterministic.
+
+The daemon's bounded-memory and fairness promises reduce to these unit
+properties: the queue cap is hard, tenant buckets refill exactly at
+their configured rates, tick budgets price big runs proportionally, and
+every rejection carries a stable reason string plus a metrics count.
+"""
+
+import pytest
+
+from repro.serve.admission import (
+    REASON_QUEUE_FULL,
+    REASON_RATE_LIMITED,
+    REASON_SHUTTING_DOWN,
+    REASON_TICK_BUDGET,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False
+        ]
+
+    def test_refills_at_rate_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_take()
+        clock.advance(1.0)          # +2 tokens
+        assert bucket.tokens == pytest.approx(2.0)
+        clock.advance(100.0)        # way past burst: capped
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_cost_weighted_take(self):
+        bucket = TokenBucket(rate=1.0, burst=10.0, clock=FakeClock())
+        assert bucket.try_take(cost=7.0)
+        assert not bucket.try_take(cost=4.0)
+        assert bucket.try_take(cost=3.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestQueueBound:
+    def test_queue_limit_is_hard(self):
+        admission = AdmissionController(queue_limit=2)
+        assert admission.try_admit("t", 1000) is None
+        assert admission.try_admit("t", 1000) is None
+        assert admission.try_admit("t", 1000) == REASON_QUEUE_FULL
+
+    def test_release_frees_a_slot(self):
+        admission = AdmissionController(queue_limit=1)
+        assert admission.try_admit("t", 1) is None
+        assert admission.try_admit("t", 1) == REASON_QUEUE_FULL
+        admission.release()
+        assert admission.try_admit("t", 1) is None
+
+    def test_release_never_goes_negative(self):
+        admission = AdmissionController(queue_limit=1)
+        admission.release()
+        assert admission.depth == 0
+
+    def test_queue_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=0)
+
+
+class TestTenantMeters:
+    def _admission(self, **kwargs):
+        clock = FakeClock()
+        admission = AdmissionController(
+            queue_limit=1000, clock=clock, **kwargs
+        )
+        return admission, clock
+
+    def test_rate_none_runs_wide_open(self):
+        admission, _ = self._admission()
+        for _ in range(100):
+            assert admission.try_admit("hot", 10 ** 9) is None
+
+    def test_submission_rate_limit_per_tenant(self):
+        admission, clock = self._admission(rate=1.0, burst=2.0)
+        assert admission.try_admit("a", 1) is None
+        assert admission.try_admit("a", 1) is None
+        assert admission.try_admit("a", 1) == REASON_RATE_LIMITED
+        # a hot tenant does not starve a quiet one
+        assert admission.try_admit("b", 1) is None
+        clock.advance(1.0)
+        assert admission.try_admit("a", 1) is None
+
+    def test_tick_budget_prices_compute_not_requests(self):
+        admission, clock = self._admission(
+            tick_rate=1000.0, tick_burst=5000.0
+        )
+        # one huge submission drains what five small ones would
+        assert admission.try_admit("a", 5000) is None
+        assert admission.try_admit("a", 100) == REASON_TICK_BUDGET
+        # small submissions from another tenant unaffected
+        assert admission.try_admit("b", 100) is None
+        clock.advance(1.0)  # +1000 ticks of allowance
+        assert admission.try_admit("a", 900) is None
+
+    def test_rate_checked_before_tick_budget(self):
+        admission, _ = self._admission(
+            rate=1.0, burst=1.0, tick_rate=10.0, tick_burst=10.0
+        )
+        assert admission.try_admit("a", 10 ** 6) == REASON_TICK_BUDGET
+        assert admission.try_admit("a", 1) == REASON_RATE_LIMITED
+
+
+class TestDrainAndMetrics:
+    def test_drain_rejects_everything_after(self):
+        admission = AdmissionController(queue_limit=10)
+        assert admission.try_admit("t", 1) is None
+        admission.drain()
+        assert admission.try_admit("t", 1) == REASON_SHUTTING_DOWN
+
+    def test_every_decision_is_counted(self):
+        registry = MetricsRegistry()
+        admission = AdmissionController(
+            queue_limit=1, metrics=registry
+        )
+        admission.try_admit("t", 1)
+        admission.try_admit("t", 1)   # queue-full
+        admission.drain()
+        admission.try_admit("t", 1)   # shutting-down
+        assert registry.value("serve_admitted_total") == 1
+        assert registry.value(
+            "serve_rejected_total", reason=REASON_QUEUE_FULL
+        ) == 1
+        assert registry.value(
+            "serve_rejected_total", reason=REASON_SHUTTING_DOWN
+        ) == 1
+        assert registry.value("serve_queue_depth") == 1
+        admission.release()
+        assert registry.value("serve_queue_depth") == 0

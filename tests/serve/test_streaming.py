@@ -1,0 +1,96 @@
+"""TapAnalyzer: live warnings without perturbing the run.
+
+The serve daemon's streaming promise rests on one invariant — tapping
+Secpert is *observably transparent*: the tapped run's RunReport is
+bit-identical to the untapped one, warnings reach the callback in
+firing order, and a broken callback (dead client, full pipe) never
+takes the run down.
+"""
+
+import json
+
+from repro.api import Session
+from repro.fleet.refs import WorkloadRef
+from repro.secpert.policy import PolicyConfig
+from repro.secpert.secpert import Secpert
+from repro.serve.streaming import TapAnalyzer, warning_to_wire
+
+#: A Table 4 Trojan that fires a HIGH execve warning mid-run.
+TROJAN = WorkloadRef.from_registry("4", "Remote execve")
+
+
+def _dumps(report):
+    return json.dumps(report.to_dict(), sort_keys=True, default=str)
+
+
+class TestTransparency:
+    def test_tapped_report_is_bit_identical_to_untapped(self):
+        session = Session()
+        workload = TROJAN.resolve()
+        plain = session.run_workload(workload)
+        streamed = []
+        tap = TapAnalyzer(
+            Secpert(PolicyConfig()),
+            lambda seq, w: streamed.append((seq, w)),
+        )
+        tapped = session.run_workload(workload, analyzer=tap)
+        assert _dumps(tapped) == _dumps(plain)
+        assert streamed, "the Trojan should have fired live warnings"
+
+    def test_warnings_arrive_in_firing_order(self):
+        session = Session()
+        streamed = []
+        tap = TapAnalyzer(
+            Secpert(PolicyConfig()),
+            lambda seq, w: streamed.append((seq, w)),
+        )
+        report = session.run_workload(TROJAN.resolve(), analyzer=tap)
+        assert [seq for seq, _ in streamed] == list(range(len(streamed)))
+        assert tap.emitted == len(streamed)
+        # the live stream and the final report agree, rule for rule
+        assert [w.rule for _, w in streamed] == [
+            entry["rule"] for entry in report.to_dict()["warnings"]
+        ]
+
+    def test_wire_shape_matches_report_warnings(self):
+        session = Session()
+        streamed = []
+        tap = TapAnalyzer(
+            Secpert(PolicyConfig()),
+            lambda seq, w: streamed.append(warning_to_wire(w)),
+        )
+        report = session.run_workload(TROJAN.resolve(), analyzer=tap)
+        entries = report.to_dict()["warnings"]
+        for wire, entry in zip(streamed, entries):
+            assert wire["rule"] == entry["rule"]
+            assert wire["severity"] == entry["severity"]
+            assert wire["headline"] == entry["headline"]
+            assert isinstance(wire["details"], list)
+
+
+class TestBrokenCallback:
+    def test_raising_callback_never_kills_the_run(self):
+        session = Session()
+
+        def explode(seq, warning):
+            raise ConnectionResetError("client hung up")
+
+        tap = TapAnalyzer(Secpert(PolicyConfig()), explode)
+        plain = session.run_workload(TROJAN.resolve())
+        tapped = session.run_workload(TROJAN.resolve(), analyzer=tap)
+        assert tap.callback_broken
+        # the run completed and the report still carries every warning
+        assert _dumps(tapped) == _dumps(plain)
+
+    def test_callback_goes_quiet_after_first_error(self):
+        calls = []
+
+        def explode_once(seq, warning):
+            calls.append(seq)
+            raise RuntimeError("boom")
+
+        tap = TapAnalyzer(Secpert(PolicyConfig()), explode_once)
+        session = Session()
+        session.run_workload(TROJAN.resolve(), analyzer=tap)
+        assert calls == [0]          # swallowed after the first failure
+        assert tap.emitted >= 1      # but counting continued
