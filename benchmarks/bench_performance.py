@@ -97,6 +97,9 @@ _CONFIGS = {
     "harrier-full-interp": (HarrierConfig(), False, True),
     "harrier-fastpath": (HarrierConfig(), True, True),
     "harrier-fastpath-off": (HarrierConfig(), True, False),
+    "harrier-provenance-off": (
+        HarrierConfig(provenance=False), True, True
+    ),
 }
 
 

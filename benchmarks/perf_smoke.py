@@ -13,7 +13,11 @@ when either property breaks:
   all workloads lives in tests/harrier/test_blockcache_differential.py);
 * a 4-worker fleet over the full 62-workload sweep is not bit-identical
   to the serial sweep, or (on hosts with >= :data:`FLEET_WORKERS` CPUs)
-  not at least :data:`FLEET_SPEEDUP` faster.
+  not at least :data:`FLEET_SPEEDUP` faster;
+* the provenance evidence recorder costs more than
+  :data:`PROVENANCE_OVERHEAD` over a provenance-off run, or turning it
+  off changes retired instructions or warnings (modulo the ``evidence``
+  payload itself).
 
 Designed for CI::
 
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import sys
 import time
 
@@ -53,6 +58,10 @@ FASTPATH_SPEEDUP = 1.3
 FLEET_WORKERS = 4
 FLEET_SPEEDUP = 2.0
 FLEET_REPS = 3
+
+#: The evidence recorder rides the existing event stream, so a
+#: provenance-on run may cost at most this factor over provenance-off.
+PROVENANCE_OVERHEAD = 1.5
 
 
 def measure(name_a: str, name_b: str) -> tuple:
@@ -188,8 +197,68 @@ def check_fleet() -> int:
     return 0
 
 
+def check_provenance() -> int:
+    """Evidence trails are free to skip and cheap to keep."""
+    on_report = run_workload("harrier-full")
+    off_report = run_workload("harrier-provenance-off")
+    if on_report.result.instructions != off_report.result.instructions:
+        print(
+            "FAIL: provenance-on retired "
+            f"{on_report.result.instructions} instructions, "
+            f"provenance-off {off_report.result.instructions}",
+            file=sys.stderr,
+        )
+        return 1
+    # Warnings must match modulo the evidence payload itself: the
+    # recorder may annotate, never alter, what Secpert concludes.
+    def strip(w):
+        return re.sub(r"evidence=.*\)$", "evidence=...)", repr(w))
+
+    on_warnings = sorted(strip(w) for w in on_report.warnings)
+    off_warnings = sorted(strip(w) for w in off_report.warnings)
+    if on_warnings != off_warnings:
+        print(
+            "FAIL: provenance on/off emitted different warnings "
+            "(modulo evidence):\n"
+            f"  on:  {on_warnings}\n  off: {off_warnings}",
+            file=sys.stderr,
+        )
+        return 1
+    on, off = measure("harrier-full", "harrier-provenance-off")
+    ratio = on / off if off else float("inf")
+    print(
+        f"perf smoke: provenance-on={on * 1000:.2f} ms "
+        f"provenance-off={off * 1000:.2f} ms "
+        f"overhead={ratio:.2f}x"
+    )
+    if off > on * NOISE_MARGIN:
+        print(
+            "FAIL: disabling provenance made the run slower "
+            f"(margin {NOISE_MARGIN}x) — the off switch is not a no-op",
+            file=sys.stderr,
+        )
+        return 1
+    if ratio > PROVENANCE_OVERHEAD:
+        print(
+            f"FAIL: provenance recording costs {ratio:.2f}x, above the "
+            f"{PROVENANCE_OVERHEAD}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "ok: provenance recording stays under "
+        f"{PROVENANCE_OVERHEAD}x with identical detections"
+    )
+    return 0
+
+
 def main() -> int:
-    return check_block_cache() or check_fastpath() or check_fleet()
+    return (
+        check_block_cache()
+        or check_fastpath()
+        or check_fleet()
+        or check_provenance()
+    )
 
 
 if __name__ == "__main__":

@@ -158,6 +158,7 @@ def _run_options(args: argparse.Namespace, **overrides) -> RunOptions:
     return RunOptions(
         block_cache=not getattr(args, "no_block_cache", False),
         taint_fastpath=not getattr(args, "no_taint_fastpath", False),
+        provenance=not getattr(args, "no_provenance", False),
         max_ticks=getattr(args, "max_ticks", None) or 5_000_000,
         **overrides,
     )
@@ -182,10 +183,43 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     _print_report(report, args.events)
     _emit_telemetry(telemetry, args)
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.write_text(report.to_json() + "\n")
+        print(f"wrote {out}")
     if args.fail_on and report.max_severity is not None:
         threshold = {"low": 1, "medium": 2, "high": 3}[args.fail_on]
         if int(report.max_severity) >= threshold:
             return 1
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Render the evidence trail of every warning in an archived report.
+
+    Accepts the JSON ``repro run --json`` / ``RunReport.to_dict()``
+    writes (schema v2+); v1 archives load too, they just have no
+    evidence to show.
+    """
+    from repro.telemetry.provenance import render_evidence
+
+    data = json.loads(pathlib.Path(args.report).read_text())
+    warnings = data.get("warnings") or []
+    if args.rule:
+        warnings = [w for w in warnings if w.get("rule") == args.rule]
+    if not warnings:
+        print("no warnings"
+              + (f" for rule {args.rule}" if args.rule else "")
+              + f" in {args.report}")
+        return 0
+    program = data.get("program", "?")
+    print(f"{program}: {len(warnings)} warning(s), "
+          f"verdict {str(data.get('verdict', '?')).upper()}")
+    for warning in warnings:
+        print(f"\n[{warning.get('severity', '?'):6s}] "
+              f"{warning.get('rule')}: {warning.get('headline')}"
+              f"  (pid {warning.get('pid')}, tick {warning.get('time')})")
+        print(render_evidence(warning.get("evidence")))
     return 0
 
 
@@ -511,7 +545,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"  unix socket : {args.socket}")
         if host is not None:
             print(f"  http        : http://{host}:{daemon.port} "
-                  f"(POST /submit, GET /healthz, GET /stats)")
+                  f"(POST /submit, GET /healthz, /stats, /metrics)")
         await run_daemon(daemon)
 
     try:
@@ -681,11 +715,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="replay taint templates per transfer instead of "
                           "evaluating block liveness summaries (reference "
                           "dataflow semantics)")
+    run.add_argument("--no-provenance", action="store_true",
+                     help="skip recording per-warning evidence trails")
     run.add_argument("--max-ticks", type=int, default=5_000_000)
+    run.add_argument("--json", metavar="FILE",
+                     help="write the machine-readable RunReport as JSON "
+                          "(feed it to `repro explain`)")
     run.add_argument("--fail-on", choices=("low", "medium", "high"),
                      help="exit nonzero when warnings reach this severity")
     _add_telemetry_options(run)
     run.set_defaults(func=cmd_run)
+
+    explain = sub.add_parser(
+        "explain",
+        help="render the evidence trails inside an archived report JSON",
+    )
+    explain.add_argument("report",
+                         help="report JSON written by `repro run --json`")
+    explain.add_argument("--rule", metavar="NAME",
+                         help="only explain warnings from this rule")
+    explain.set_defaults(func=cmd_explain)
 
     audit = sub.add_parser(
         "audit", help="Secure Binary static check (Appendix B)"
@@ -710,6 +759,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "interpreter instead of the block cache")
     table.add_argument("--no-taint-fastpath", action="store_true",
                        help="disable the zero-taint dataflow fast path")
+    table.add_argument("--no-provenance", action="store_true",
+                       help="skip recording per-warning evidence trails")
     _add_telemetry_options(table)
     table.set_defaults(func=cmd_table)
 
@@ -780,6 +831,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "interpreter instead of the block cache")
     fleet.add_argument("--no-taint-fastpath", action="store_true",
                        help="disable the zero-taint dataflow fast path")
+    fleet.add_argument("--no-provenance", action="store_true",
+                       help="skip recording per-warning evidence trails")
     fleet.add_argument("--json", metavar="FILE",
                        help="write the merged FleetReport as JSON")
     _add_telemetry_options(fleet)
@@ -795,8 +848,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: ./repro-serve.sock)")
     serve.add_argument("--http", metavar="HOST:PORT",
                        help="also speak HTTP (POST /submit streams "
-                            "chunked NDJSON; GET /healthz, /stats); "
-                            "port 0 picks a free one")
+                            "chunked NDJSON; GET /healthz, /stats, "
+                            "/metrics); port 0 picks a free one")
     serve.add_argument("--workers", type=int, default=2,
                        help="warm worker processes (default: 2)")
     serve.add_argument("--queue-limit", type=int, default=64,
@@ -865,6 +918,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run on the per-instruction interpreter")
     submit.add_argument("--no-taint-fastpath", action="store_true",
                         help="disable the zero-taint dataflow fast path")
+    submit.add_argument("--no-provenance", action="store_true",
+                        help="skip recording per-warning evidence trails")
     submit.add_argument("--fail-on", choices=("low", "medium", "high"),
                         help="exit nonzero when warnings reach this "
                              "severity")
@@ -892,6 +947,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of the block cache")
     profile.add_argument("--no-taint-fastpath", action="store_true",
                          help="disable the zero-taint dataflow fast path")
+    profile.add_argument("--no-provenance", action="store_true",
+                         help="skip recording per-warning evidence trails")
     profile.add_argument("--max-ticks", type=int, default=5_000_000)
     _add_telemetry_options(profile)
     profile.set_defaults(func=cmd_profile)

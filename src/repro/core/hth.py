@@ -19,7 +19,7 @@ from functools import lru_cache
 from typing import Dict, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.core.options import RunOptions, UNSET, fold_legacy_flags
-from repro.core.report import RunReport, Verdict
+from repro.core.report import RunReport
 from repro.harrier.analyzer import DecisionPolicy, always_continue
 from repro.harrier.config import HarrierConfig
 from repro.harrier.monitor import Harrier
@@ -125,6 +125,9 @@ class HTH:
             # The escape hatch only ever *disables* the fast path; an
             # explicit HarrierConfig(taint_fastpath=False) always wins.
             config = replace(config, taint_fastpath=False)
+        if not options.provenance and config.provenance:
+            # Same escape-hatch shape for the evidence recorder.
+            config = replace(config, provenance=False)
         self.harrier = Harrier(
             analyzer=self.analyzer,
             config=config,
@@ -151,6 +154,10 @@ class HTH:
         attach = getattr(self.analyzer, "attach_telemetry", None)
         if attach is not None:
             attach(self.telemetry)
+        if self.harrier.provenance is not None:
+            attach_prov = getattr(self.analyzer, "attach_provenance", None)
+            if attach_prov is not None:
+                attach_prov(self.harrier.provenance)
         if install_stubs:
             for path in STANDARD_BINARIES:
                 self.kernel.register_binary(stub_binary(path))
@@ -225,6 +232,11 @@ class HTH:
             telemetry=(
                 self.telemetry.snapshot()
                 if self.telemetry.is_enabled
+                else None
+            ),
+            provenance=(
+                self.harrier.provenance.summary()
+                if self.harrier.provenance is not None
                 else None
             ),
         )

@@ -63,6 +63,8 @@ class RunOptions:
     block_cache: bool = True
     #: Use the zero-taint dataflow fast path.
     taint_fastpath: bool = True
+    #: Record per-warning taint-provenance evidence trails.
+    provenance: bool = True
     #: Collect a metrics registry for the run.
     metrics: bool = False
     #: Collect a span trace (implies a metrics registry).

@@ -16,7 +16,9 @@ from repro.telemetry import TelemetrySnapshot
 #: streams and archived report JSON carry this so consumers can detect
 #: and adapt to schema evolution; bump it on any breaking change to the
 #: dict layout and document the change in ``docs/observability.md``.
-REPORT_SCHEMA_VERSION = 1
+#: v2: per-warning ``evidence`` trails + the top-level ``provenance``
+#: recorder summary (see :mod:`repro.telemetry.provenance`).
+REPORT_SCHEMA_VERSION = 2
 
 
 class Verdict(enum.Enum):
@@ -71,6 +73,9 @@ class RunReport:
     #: Telemetry snapshot (metrics/profile/span count) when the run was
     #: made with an enabled hub; ``None`` for the zero-overhead default.
     telemetry: Optional[TelemetrySnapshot] = None
+    #: Provenance recorder summary (token/source/waypoint counts) when
+    #: evidence trails were recorded; ``None`` when disabled.
+    provenance: Optional[Dict[str, object]] = None
 
     @property
     def max_severity(self) -> Optional[Severity]:
@@ -131,6 +136,7 @@ class RunReport:
                     "headline": w.headline,
                     "pid": w.pid,
                     "time": w.time,
+                    "evidence": w.evidence,
                 }
                 for w in self.warnings
             ],
@@ -150,6 +156,7 @@ class RunReport:
                 if self.telemetry is not None
                 else None
             ),
+            "provenance": self.provenance,
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -44,6 +44,7 @@ from repro.telemetry import (
     STAGE_BBFREQ,
     STAGE_DATAFLOW,
 )
+from repro.telemetry.provenance import ProvenanceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Telemetry
@@ -95,8 +96,15 @@ class Harrier(KernelHooks):
         self.dataflow = InstructionDataFlow(interner=interner)
         self.bbfreq = CodeExecutionPatterns()
         self.routines = RoutineShortCircuit(self.dataflow)
+        #: The per-run evidence recorder (None when disabled — hot paths
+        #: pay one cached None check, NullSink-style).
+        self.provenance = (
+            ProvenanceRecorder() if self.config.provenance else None
+        )
+        self._prov = self.provenance
         self.event_gen = SyscallEventGenerator(
-            self.config, self.dataflow, self.bbfreq
+            self.config, self.dataflow, self.bbfreq,
+            provenance=self.provenance,
         )
         self.kernel: Optional[Kernel] = None
         #: Every event emitted, in order (when keep_event_log is set).
@@ -180,6 +188,11 @@ class Harrier(KernelHooks):
                 loaded.end - loaded.data_start,
                 binary_tags,
             )
+            if self._prov is not None:
+                self._prov.record_source(
+                    binary_tags, pid=proc.pid, tick=self._now,
+                    resource=image_name, via="image_load",
+                )
 
     def on_initial_stack(self, proc: Process, start: int, end: int) -> None:
         if not self.config.track_dataflow:
@@ -189,6 +202,11 @@ class Harrier(KernelHooks):
         else:
             tags = self.dataflow.binary_tag(proc.command)
         self.shadow(proc).memory.set_range(start, end - start, tags)
+        if self._prov is not None:
+            self._prov.record_source(
+                tags, pid=proc.pid, tick=self._now,
+                resource=proc.command, via="initial_stack",
+            )
 
     # -- per-instruction events (section 7.3.1 / 7.4 / 7.2) --------------------
     def on_instruction(self, proc: Process, step: StepResult) -> None:
@@ -247,6 +265,8 @@ class Harrier(KernelHooks):
                     )(shadow, rec)
                 ):
                     self.fastpath_blocks += 1
+                    if self._prov is not None:
+                        self._prov.observe_block(plan)
                 else:
                     self.slowpath_blocks += 1
                     self.dataflow.apply_block(shadow, rec)
@@ -378,6 +398,8 @@ class Harrier(KernelHooks):
         return True
 
     def _log_event(self, event: SecurityEvent) -> None:
+        if self._prov is not None:
+            self._prov.observe_event(event)
         if self._c_emitted is not None:
             self._c_emitted.inc()
         if not self.config.keep_event_log:
@@ -445,6 +467,8 @@ class Harrier(KernelHooks):
         m.gauge("harrier_app_basic_blocks").set(app_blocks)
         m.gauge("harrier_fastpath_blocks").set(self.fastpath_blocks)
         m.gauge("harrier_slowpath_blocks").set(self.slowpath_blocks)
+        if self._prov is not None:
+            self._prov.sample_gauges(m)
 
     # -- process lifecycle -------------------------------------------------------
     def on_fork(self, parent: Process, child: Process) -> None:

@@ -30,12 +30,6 @@ from repro.harrier.events import (
 from repro.harrier.state import ProcessShadow
 from repro.kernel.process import OpenFile, Process, ResourceKind
 from repro.kernel.syscalls import (
-    SC_ACCEPT,
-    SC_BIND,
-    SC_CONNECT,
-    SC_LISTEN,
-    SC_RECV,
-    SC_SEND,
     SYS_BRK,
     SYS_CHMOD,
     SYS_CLONE,
@@ -74,10 +68,14 @@ class SyscallEventGenerator:
         config: HarrierConfig,
         dataflow: InstructionDataFlow,
         bbfreq: CodeExecutionPatterns,
+        provenance=None,
     ) -> None:
         self.config = config
         self.dataflow = dataflow
         self.bbfreq = bbfreq
+        #: Optional ProvenanceRecorder: taint introductions at syscall
+        #: boundaries become evidence-trail source records.
+        self.provenance = provenance
 
     #: Frequency reported when BB counting is disabled: "no rarity
     #: evidence", so the rare-code severity upgrade can never fire.
@@ -311,6 +309,12 @@ class SyscallEventGenerator:
                 # backing store (this is the section 7.2 semantic gap the
                 # routine short circuit corrects at RET time).
                 shadow.regs.set("eax", _HOSTS_FILE_TAG)
+                if self.provenance is not None:
+                    self.provenance.record_source(
+                        _HOSTS_FILE_TAG, pid=proc.pid,
+                        tick=now - proc.start_time,
+                        resource="/etc/hosts", via="SYS_resolve",
+                    )
 
         if sysno in (SYS_OPEN, SYS_CREAT) and result >= 0:
             open_file = info.get("open_file")
@@ -365,6 +369,11 @@ class SyscallEventGenerator:
         data_tags = self._tag_for_read(proc, open_file)
         if self.config.track_dataflow:
             shadow.memory.set_range(buf, nread, data_tags)
+            if self.provenance is not None:
+                self.provenance.record_source(
+                    data_tags, pid=proc.pid, tick=now - proc.start_time,
+                    resource=open_file.name, via=call_name,
+                )
         effective = data_tags if self.config.track_dataflow else _UNKNOWN
         event = DataTransferEvent(
             **self._base(proc, shadow, now, call_name),

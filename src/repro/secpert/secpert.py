@@ -27,6 +27,11 @@ class Secpert(EventAnalyzer):
         self.policy = policy or PolicyConfig()
         self.sink = WarningSink()
         self.engine = self._build_engine()
+        #: Optional ProvenanceRecorder (repro.telemetry.provenance).
+        #: When attached, every stamped warning carries an evidence
+        #: trail built from the fire-trace slice its event produced.
+        self.provenance = None
+        self._rule_docs = {r.name: r.doc for r in self.engine.rules}
 
     def _build_engine(self) -> InferenceEngine:
         engine = InferenceEngine()
@@ -47,17 +52,25 @@ class Secpert(EventAnalyzer):
         if getattr(telemetry, "is_enabled", False):
             self.engine.metrics = telemetry.metrics
 
+    def attach_provenance(self, recorder) -> None:
+        """Stamp evidence trails onto warnings via this recorder."""
+        self.provenance = recorder
+
     # -- EventAnalyzer ---------------------------------------------------------
     def analyze(self, event: SecurityEvent) -> Sequence[SecurityWarning]:
         fact = event_to_fact(event)
         if fact is None:
             return ()
         before = len(self.sink)
+        trace_before = len(self.engine.fire_trace)
         self.engine.assert_fact(fact)
         self.engine.run()
         self.engine.retract(fact)
         new = self.sink.warnings[before:]
-        # Stamp the triggering event onto the warnings for explanations.
+        fired = self.engine.fire_trace[trace_before:]
+        # Stamp the triggering event (and, when a provenance recorder is
+        # attached, the evidence trail) onto the warnings.
+        recorder = self.provenance
         stamped = [
             SecurityWarning(
                 severity=w.severity,
@@ -67,6 +80,13 @@ class Secpert(EventAnalyzer):
                 event=event,
                 pid=w.pid,
                 time=w.time,
+                evidence=(
+                    recorder.evidence_for(
+                        w, event, fact, fired, self._rule_docs
+                    )
+                    if recorder is not None
+                    else None
+                ),
             )
             for w in new
         ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 
 class Severity(enum.IntEnum):
@@ -37,6 +37,11 @@ class SecurityWarning:
     event: object = None
     pid: int = 0
     time: int = 0
+    #: Provenance evidence (schema-versioned JSON dict, see
+    #: :mod:`repro.telemetry.provenance`).  Excluded from equality so the
+    #: frozen dataclass stays hashable; still part of ``repr`` so the
+    #: differential fingerprints cover it.
+    evidence: Optional[dict] = field(default=None, compare=False)
 
     def render(self) -> str:
         lines = [f"Warning [{self.severity.label()}] {self.headline}"]

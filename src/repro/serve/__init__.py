@@ -33,6 +33,7 @@ from repro.serve.client import (
     ServeClient,
     ServeError,
     http_get,
+    http_get_text,
     http_submit,
     submit_async,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "TapAnalyzer",
     "TokenBucket",
     "http_get",
+    "http_get_text",
     "http_submit",
     "retry_delay",
     "run_daemon",

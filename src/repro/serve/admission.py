@@ -113,14 +113,16 @@ class AdmissionController:
         self._metrics = metrics
 
     # -- metrics -----------------------------------------------------------
-    def _count(self, admitted: bool, reason: str = "") -> None:
+    def _count(self, admitted: bool, tenant: str, reason: str = "") -> None:
         if self._metrics is None:
             return
         if admitted:
-            self._metrics.counter("serve_admitted_total").inc()
+            self._metrics.counter(
+                "serve_admitted_total", tenant=tenant
+            ).inc()
         else:
             self._metrics.counter(
-                "serve_rejected_total", reason=reason
+                "serve_rejected_total", tenant=tenant, reason=reason
             ).inc()
         self._metrics.gauge("serve_queue_depth").set(self.depth)
 
@@ -147,22 +149,22 @@ class AdmissionController:
         """Claim a queue slot for ``tenant``; return ``None`` on success
         or the rejection reason string."""
         if self.draining:
-            self._count(False, REASON_SHUTTING_DOWN)
+            self._count(False, tenant, REASON_SHUTTING_DOWN)
             return REASON_SHUTTING_DOWN
         if self.depth >= self.queue_limit:
-            self._count(False, REASON_QUEUE_FULL)
+            self._count(False, tenant, REASON_QUEUE_FULL)
             return REASON_QUEUE_FULL
         state = self._tenant(tenant)
         if self.rate is not None and not state.submissions.try_take():
-            self._count(False, REASON_RATE_LIMITED)
+            self._count(False, tenant, REASON_RATE_LIMITED)
             return REASON_RATE_LIMITED
         if state.ticks is not None and not state.ticks.try_take(
             float(max_ticks)
         ):
-            self._count(False, REASON_TICK_BUDGET)
+            self._count(False, tenant, REASON_TICK_BUDGET)
             return REASON_TICK_BUDGET
         self.depth += 1
-        self._count(True)
+        self._count(True, tenant)
         return None
 
     def release(self) -> None:

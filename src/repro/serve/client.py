@@ -127,6 +127,23 @@ def http_get(host: str, port: int, path: str, timeout: float = 10.0) -> Dict:
         conn.close()
 
 
+def http_get_text(
+    host: str, port: int, path: str, timeout: float = 10.0
+) -> Dict:
+    """GET a text endpoint (``/metrics``) without JSON-decoding it."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return {
+            "status": resp.status,
+            "content_type": resp.getheader("Content-Type", ""),
+            "text": resp.read().decode("utf-8"),
+        }
+    finally:
+        conn.close()
+
+
 def http_submit(
     host: str,
     port: int,

@@ -75,6 +75,7 @@ def options_to_wire(options: RunOptions) -> Dict[str, object]:
     wire: Dict[str, object] = {
         "block_cache": options.block_cache,
         "taint_fastpath": options.taint_fastpath,
+        "provenance": options.provenance,
         "metrics": options.metrics,
         "max_ticks": options.max_ticks,
         "wall_timeout": options.wall_timeout,
@@ -98,8 +99,8 @@ def options_from_wire(data: Optional[Mapping[str, object]]) -> RunOptions:
     data = dict(data)
     fault = data.pop("fault", None)
     allowed = {
-        "block_cache", "taint_fastpath", "metrics", "max_ticks",
-        "wall_timeout",
+        "block_cache", "taint_fastpath", "provenance", "metrics",
+        "max_ticks", "wall_timeout",
     }
     unknown = set(data) - allowed
     if unknown:
@@ -107,6 +108,7 @@ def options_from_wire(data: Optional[Mapping[str, object]]) -> RunOptions:
     options = RunOptions(
         block_cache=bool(data.get("block_cache", True)),
         taint_fastpath=bool(data.get("taint_fastpath", True)),
+        provenance=bool(data.get("provenance", True)),
         metrics=bool(data.get("metrics", False)),
         max_ticks=int(data.get("max_ticks", DEFAULT_MAX_TICKS)),
         wall_timeout=(

@@ -3,8 +3,9 @@
 ``ServeDaemon`` listens on a unix socket (NDJSON, the native protocol)
 and optionally on TCP speaking a minimal hand-rolled HTTP/1.1 (the
 container has no third-party HTTP stack, and the protocol needs nothing
-more than ``POST /submit`` with a chunked NDJSON body plus two GET
-endpoints).  Each accepted submission flows::
+more than ``POST /submit`` with a chunked NDJSON body plus three GET
+endpoints — ``/healthz``, ``/stats``, and an OpenMetrics ``/metrics``
+exposition).  Each accepted submission flows::
 
     client -> admission (bounded queue, tenant buckets)
            -> pending deque -> supervisor dispatch (idle worker)
@@ -33,9 +34,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
+from repro.harrier.config import HarrierConfig
 from repro.serve import admission as adm
 from repro.serve.admission import AdmissionController
 from repro.serve.protocol import (
@@ -51,7 +54,7 @@ from repro.serve.supervisor import (
     DEFAULT_JOB_TIMEOUT,
     Supervisor,
 )
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import MetricsRegistry, render_openmetrics
 
 #: A submission line/body larger than this is rejected outright.
 MAX_SUBMISSION_BYTES = 4 * 1024 * 1024
@@ -128,12 +131,18 @@ class ServeDaemon:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._servers = []
         self._closed = False
+        self._started_at = time.monotonic()
+        #: Whether worker runs record evidence trails by default (a
+        #: submission can still opt out via ``options.provenance``).
+        self.provenance_enabled = HarrierConfig().provenance
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
         if self._servers:  # idempotent: run_daemon may follow a manual start
             return
         self._loop = asyncio.get_running_loop()
+        self._started_at = time.monotonic()
+        self._preregister_metrics()
         self.supervisor.start()
         if self.unix_path is not None:
             self._servers.append(await asyncio.start_unix_server(
@@ -226,7 +235,9 @@ class ServeDaemon:
             submission = Submission.from_wire(raw)
         except ProtocolError as exc:
             self.metrics.counter(
-                "serve_rejected_total", reason=adm.REASON_INVALID
+                "serve_rejected_total",
+                tenant=str(raw.get("tenant", "default")),
+                reason=adm.REASON_INVALID,
             ).inc()
             return None, rejected_event(adm.REASON_INVALID, str(exc))
         reason = self.admission.try_admit(
@@ -337,6 +348,15 @@ class ServeDaemon:
                 await self._http_json(writer, 200, "OK", self._healthz())
             elif method == "GET" and target == "/stats":
                 await self._http_json(writer, 200, "OK", self._stats())
+            elif method == "GET" and target == "/metrics":
+                await self._http_text(
+                    writer, 200, "OK",
+                    render_openmetrics(self.metrics.samples()),
+                    content_type=(
+                        "application/openmetrics-text; "
+                        "version=1.0.0; charset=utf-8"
+                    ),
+                )
             elif method == "POST" and target == "/submit":
                 await self._http_submit(reader, writer, headers)
             else:
@@ -402,10 +422,30 @@ class ServeDaemon:
         self, writer, status: int, phrase: str, payload: Dict[str, object]
     ) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
+        await self._http_body(
+            writer, status, phrase, body, "application/json"
+        )
+
+    async def _http_text(
+        self,
+        writer,
+        status: int,
+        phrase: str,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        await self._http_body(
+            writer, status, phrase, text.encode("utf-8"), content_type
+        )
+
+    async def _http_body(
+        self, writer, status: int, phrase: str, body: bytes,
+        content_type: str,
+    ) -> None:
         try:
             writer.write(
                 f"HTTP/1.1 {status} {phrase}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n".encode("latin-1") + body
             )
@@ -414,6 +454,23 @@ class ServeDaemon:
             pass
 
     # -- introspection -----------------------------------------------------
+    def _preregister_metrics(self) -> None:
+        """Touch the serve/harrier/provenance metric families once so a
+        ``/metrics`` scrape sees them (at zero) before any traffic."""
+        self.metrics.counter("serve_admitted_total", tenant="default")
+        self.metrics.counter(
+            "serve_rejected_total",
+            tenant="default", reason=adm.REASON_QUEUE_FULL,
+        )
+        self.metrics.counter("serve_jobs_completed_total", kind="report")
+        self.metrics.counter("serve_worker_restarts_total")
+        self.metrics.gauge("serve_queue_depth").set(0)
+        self.metrics.counter("harrier_events_emitted_total")
+        self.metrics.counter("harrier_warnings_total")
+        self.metrics.counter("provenance_sources_total")
+        self.metrics.counter("provenance_waypoints_total")
+        self.metrics.counter("provenance_evidence_total")
+
     def _healthz(self) -> Dict[str, object]:
         live = self.supervisor.live_workers()
         return {
@@ -422,6 +479,11 @@ class ServeDaemon:
             "idle_workers": self.supervisor.idle_workers(),
             "queue_depth": self.admission.depth,
             "draining": self.admission.draining,
+            "uptime_seconds": round(
+                time.monotonic() - self._started_at, 3
+            ),
+            "worker_generations": self.supervisor.generations(),
+            "provenance_enabled": self.provenance_enabled,
         }
 
     def _stats(self) -> Dict[str, object]:

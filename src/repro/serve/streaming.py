@@ -39,6 +39,7 @@ def warning_to_wire(warning: SecurityWarning) -> dict:
         "details": [str(d) for d in warning.details],
         "pid": warning.pid,
         "time": warning.time,
+        "evidence": warning.evidence,
     }
 
 
@@ -90,3 +91,8 @@ class TapAnalyzer(EventAnalyzer):
         attach = getattr(self.inner, "attach_telemetry", None)
         if attach is not None:
             attach(telemetry)
+
+    def attach_provenance(self, recorder) -> None:
+        attach = getattr(self.inner, "attach_provenance", None)
+        if attach is not None:
+            attach(recorder)

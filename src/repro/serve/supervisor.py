@@ -44,7 +44,7 @@ import queue as queue_mod
 import threading
 import time
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.serve.worker import serve_worker_main
@@ -299,6 +299,12 @@ class Supervisor:
                 if w.state == STATE_BUSY
             ]
 
+    def generations(self) -> Dict[int, int]:
+        """Per-slot process generation (1 + restarts): how many times
+        each pool slot has (re)spawned its worker."""
+        with self._lock:
+            return {w.wid: 1 + w.restarts for w in self._workers.values()}
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
@@ -400,6 +406,29 @@ class Supervisor:
         except Exception:
             pass
 
+    def _absorb_report(self, report: object) -> None:
+        """Fold one finished run's report counters into the daemon
+        registry — per-run numbers live in the report itself; the pool's
+        ``/metrics`` exposes the running totals across every run."""
+        if self._metrics is None or not isinstance(report, dict):
+            return
+        self._metrics.counter("harrier_events_emitted_total").inc(
+            float(report.get("event_count", 0) or 0)
+        )
+        self._metrics.counter("harrier_warnings_total").inc(
+            float(len(report.get("warnings") or ()))
+        )
+        prov = report.get("provenance")
+        if isinstance(prov, dict):
+            for key, family in (
+                ("sources", "provenance_sources_total"),
+                ("waypoints", "provenance_waypoints_total"),
+                ("evidence", "provenance_evidence_total"),
+            ):
+                self._metrics.counter(family).inc(
+                    float(prov.get(key, 0) or 0)
+                )
+
     def _forward(self, job: _Job, event: Dict[str, object]) -> None:
         try:
             job.on_event(event)
@@ -456,6 +485,7 @@ class Supervisor:
                     worker.consecutive_failures = 0
                     worker.jobs_done += 1
         if kind == "result":
+            self._absorb_report(msg.get("report"))
             self._finish(job, {
                 "kind": "report",
                 "report": msg["report"],

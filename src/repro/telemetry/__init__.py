@@ -31,7 +31,9 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullSink,
     merge_sample_lists,
+    render_openmetrics,
     render_samples,
+    validate_openmetrics,
 )
 from repro.telemetry.profiler import (
     STAGE_ANALYSIS,
@@ -40,6 +42,11 @@ from repro.telemetry.profiler import (
     STAGE_NATIVE,
     STAGES,
     StageProfiler,
+)
+from repro.telemetry.provenance import (
+    EVIDENCE_SCHEMA_VERSION,
+    ProvenanceRecorder,
+    render_evidence,
 )
 from repro.telemetry.spans import (
     CATEGORY_ANALYSIS,
@@ -168,6 +175,11 @@ __all__ = [
     "NullSink",
     "merge_sample_lists",
     "render_samples",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "ProvenanceRecorder",
+    "render_evidence",
+    "EVIDENCE_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "Histogram",

@@ -15,6 +15,7 @@ that by caching ``None``.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -173,6 +174,8 @@ class MetricsRegistry:
                     min=metric.min,
                     max=metric.max,
                     mean=metric.mean,
+                    buckets=list(metric.buckets),
+                    bucket_counts=list(metric.bucket_counts),
                 )
             else:
                 sample["value"] = metric.value
@@ -249,9 +252,242 @@ def merge_sample_lists(
                 into["mean"] = (
                     into["sum"] / into["count"] if into["count"] else 0.0
                 )
+                # Bucket counts add elementwise when both sides use the
+                # same bounds; on a mismatch (or a legacy sample without
+                # buckets) the merged sample drops its bucket view
+                # rather than mixing incompatible ladders.
+                ours_b = into.get("buckets")
+                theirs_b = sample.get("buckets")
+                if ours_b is not None and ours_b == theirs_b:
+                    into["bucket_counts"] = [
+                        a + b for a, b in zip(
+                            into["bucket_counts"],
+                            sample["bucket_counts"],
+                        )
+                    ]
+                elif "buckets" in into:
+                    del into["buckets"]
+                    del into["bucket_counts"]
             else:
                 into["value"] = into["value"] + sample["value"]
     return [merged[key] for key in sorted(merged)]
+
+
+# -- OpenMetrics / Prometheus text exposition ------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def _labels_text(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{k}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _family_name(name: str, kind: str) -> str:
+    """The metric-family name a sample belongs to.
+
+    OpenMetrics counters drop the ``_total`` suffix at the family level
+    (``# TYPE serve_admitted counter`` exposes ``serve_admitted_total``).
+    """
+    if kind == "counter" and name.endswith("_total"):
+        return name[: -len("_total")]
+    return name
+
+
+def render_openmetrics(samples: Iterable[Dict[str, object]]) -> str:
+    """Render a sample list in OpenMetrics text exposition format.
+
+    The serve daemon's ``GET /metrics`` endpoint serves this so a stock
+    Prometheus scraper can consume the registry.  Histogram buckets are
+    converted from the stored per-bucket counts to the cumulative
+    ``le=``-labelled series the format requires; the ``+Inf`` bucket
+    always equals the observation count.
+    """
+    by_family: Dict[str, List[Dict[str, object]]] = {}
+    kinds: Dict[str, str] = {}
+    for sample in samples:
+        kind = str(sample["kind"])
+        family = _family_name(str(sample["name"]), kind)
+        by_family.setdefault(family, []).append(sample)
+        kinds[family] = kind
+    lines: List[str] = []
+    for family in sorted(by_family):
+        kind = kinds[family]
+        lines.append(f"# TYPE {family} {kind}")
+        for sample in by_family[family]:
+            labels = dict(sample["labels"])  # type: ignore[arg-type]
+            if kind == "histogram":
+                bounds = sample.get("buckets")
+                counts = sample.get("bucket_counts")
+                cumulative = 0
+                if bounds is not None and counts is not None:
+                    for bound, bucket_count in zip(bounds, counts):
+                        cumulative += bucket_count
+                        le = _labels_text(
+                            labels, extra=f'le="{_format_value(bound)}"'
+                        )
+                        lines.append(
+                            f"{family}_bucket{le} {cumulative}"
+                        )
+                inf = _labels_text(labels, extra='le="+Inf"')
+                lines.append(f"{family}_bucket{inf} {sample['count']}")
+                plain = _labels_text(labels)
+                lines.append(
+                    f"{family}_sum{plain} {_format_value(sample['sum'])}"
+                )
+                lines.append(f"{family}_count{plain} {sample['count']}")
+            else:
+                suffix = "_total" if kind == "counter" else ""
+                lines.append(
+                    f"{family}{suffix}{_labels_text(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_OM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Minimal OpenMetrics validator: a list of problems (empty = valid).
+
+    Checks the structural invariants a scraper relies on: every sample
+    line parses, every sample belongs to a declared ``# TYPE`` family
+    with a suffix legal for its type, counter samples end in ``_total``,
+    histogram bucket series are cumulative and ``le``-labelled with a
+    terminal ``+Inf`` bucket, and the exposition ends with ``# EOF``.
+    """
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing terminal '# EOF' line")
+    types: Dict[str, str] = {}
+    bucket_state: Dict[str, float] = {}
+    bucket_families: set = set()
+    inf_bucket_families: set = set()
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            problems.append(f"line {lineno}: empty line")
+            continue
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append(f"line {lineno}: '# EOF' before end")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary",
+                "info", "unknown",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            family = parts[2]
+            if family in types:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {family}"
+                )
+            types[family] = parts[3]
+            continue
+        if line.startswith("#"):
+            # HELP/UNIT comments are allowed; anything else is not.
+            if not (line.startswith("# HELP ")
+                    or line.startswith("# UNIT ")):
+                problems.append(f"line {lineno}: stray comment: {line!r}")
+            continue
+        match = _OM_SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name = match.group("name")
+        family, kind = _sample_family(name, types)
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no TYPE family"
+            )
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            if match.group("value") != "NaN":
+                problems.append(
+                    f"line {lineno}: non-numeric value: {line!r}"
+                )
+            continue
+        if kind == "counter" and not name.endswith(("_total", "_created")):
+            problems.append(
+                f"line {lineno}: counter sample {name!r} lacks _total"
+            )
+        if name == family + "_bucket":
+            bucket_families.add(family)
+            labels = match.group("labels") or ""
+            if 'le="' not in labels:
+                problems.append(
+                    f"line {lineno}: bucket without le label: {line!r}"
+                )
+            if 'le="+Inf"' in labels:
+                inf_bucket_families.add(family)
+            series = line.rsplit(" ", 1)[0]
+            series = re.sub(r'le="[^"]*",?', "", series)
+            previous = bucket_state.get(series)
+            if previous is not None and value < previous:
+                problems.append(
+                    f"line {lineno}: non-cumulative bucket: {line!r}"
+                )
+            bucket_state[series] = value
+    for family in sorted(bucket_families - inf_bucket_families):
+        problems.append(f"histogram {family} lacks a le=\"+Inf\" bucket")
+    return problems
+
+
+def _sample_family(name: str, types: Dict[str, str]):
+    """Resolve a sample name to its declared (family, kind)."""
+    if name in types:
+        kind = types[name]
+        if kind == "histogram":
+            # A bare histogram name is not a legal sample.
+            return None, None
+        return name, kind
+    for suffix in ("_total", "_created", "_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            family = name[: -len(suffix)]
+            kind = types.get(family)
+            if kind is None:
+                continue
+            if suffix in ("_bucket", "_sum", "_count") and kind not in (
+                "histogram", "summary"
+            ):
+                continue
+            if suffix in ("_total", "_created") and kind != "counter":
+                continue
+            return family, kind
+    return None, None
 
 
 class _NullInstrument:

@@ -56,12 +56,14 @@ def _shadow_fingerprint(hth):
     return rows
 
 
-def _run_fingerprint(workload, block_cache, taint_fastpath=True):
+def _run_fingerprint(workload, block_cache, taint_fastpath=True,
+                     provenance=True):
     from repro.core.options import RunOptions
 
     hth = workload.build_machine(
         options=RunOptions(
-            block_cache=block_cache, taint_fastpath=taint_fastpath
+            block_cache=block_cache, taint_fastpath=taint_fastpath,
+            provenance=provenance,
         )
     )
     report = hth.run(
@@ -73,6 +75,8 @@ def _run_fingerprint(workload, block_cache, taint_fastpath=True):
     )
     return {
         "verdict": report.verdict,
+        # repr() includes the evidence trail, so this fingerprint also
+        # holds evidence bit-identity across execution modes.
         "warnings": [repr(w) for w in report.warnings],
         "events": [str(e) for e in report.events],
         "console": report.console_output,
@@ -106,4 +110,33 @@ def test_fastpath_is_indistinguishable(workload):
         assert fast[key] == slow[key], (
             f"{workload.name}: {key} diverges between summary fast path "
             f"and per-transfer template replay"
+        )
+
+
+@pytest.mark.parametrize("workload", _all_workloads())
+def test_provenance_recorder_is_transparent(workload):
+    """Disabling the evidence recorder changes nothing but the evidence.
+
+    The recorder is an observer: verdicts, warnings (modulo their
+    ``evidence`` field, which is excluded from SecurityWarning equality),
+    events, clocks, and shadow state must be identical with it on or
+    off — otherwise recording trails would perturb detection.
+    """
+    on = _run_fingerprint(workload, block_cache=True, provenance=True)
+    off = _run_fingerprint(workload, block_cache=True, provenance=False)
+    on_warnings = on.pop("warnings")
+    off_warnings = off.pop("warnings")
+    # Strip the evidence trail out of the reprs before comparing.
+    import re
+
+    def strip(reprs):
+        return [re.sub(r"evidence=.*\)$", "evidence=...)", r)
+                for r in reprs]
+
+    assert strip(on_warnings) == strip(off_warnings), (
+        f"{workload.name}: warnings diverge when provenance is disabled"
+    )
+    for key in on:
+        assert on[key] == off[key], (
+            f"{workload.name}: {key} diverges when provenance is disabled"
         )

@@ -144,12 +144,12 @@ class TestDrainAndMetrics:
         admission.try_admit("t", 1)   # queue-full
         admission.drain()
         admission.try_admit("t", 1)   # shutting-down
-        assert registry.value("serve_admitted_total") == 1
+        assert registry.value("serve_admitted_total", tenant="t") == 1
         assert registry.value(
-            "serve_rejected_total", reason=REASON_QUEUE_FULL
+            "serve_rejected_total", tenant="t", reason=REASON_QUEUE_FULL
         ) == 1
         assert registry.value(
-            "serve_rejected_total", reason=REASON_SHUTTING_DOWN
+            "serve_rejected_total", tenant="t", reason=REASON_SHUTTING_DOWN
         ) == 1
         assert registry.value("serve_queue_depth") == 1
         admission.release()

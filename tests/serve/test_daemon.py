@@ -25,6 +25,7 @@ from repro.serve import (
     ServeDaemon,
     Submission,
     http_get,
+    http_get_text,
     http_submit,
     submit_async,
 )
@@ -283,6 +284,66 @@ class TestHttpFront:
             str(k) for k in stats["body"]["supervisor"]["workers"]
         }
         assert missing["status"] == 404
+
+    def test_healthz_reports_uptime_generations_provenance(self, tmp_path):
+        async def main():
+            async with daemon(
+                tmp_path, unix_path=None, host="127.0.0.1", port=0
+            ) as d:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    None, http_get, "127.0.0.1", d.port, "/healthz"
+                )
+
+        health = run(main())["body"]
+        assert health["uptime_seconds"] >= 0
+        assert health["worker_generations"] == {"0": 1}
+        assert health["provenance_enabled"] is True
+
+    def test_metrics_endpoint_serves_valid_openmetrics(self, tmp_path):
+        from repro.telemetry.metrics import validate_openmetrics
+
+        async def main():
+            async with daemon(
+                tmp_path, unix_path=None, host="127.0.0.1", port=0
+            ) as d:
+                loop = asyncio.get_running_loop()
+                cold = await loop.run_in_executor(
+                    None, http_get_text, "127.0.0.1", d.port, "/metrics"
+                )
+                await loop.run_in_executor(
+                    None, http_submit, "127.0.0.1", d.port,
+                    Submission(workload=(TROJAN_TABLE, TROJAN_NAME)),
+                )
+                warm = await loop.run_in_executor(
+                    None, http_get_text, "127.0.0.1", d.port, "/metrics"
+                )
+                return cold, warm
+
+        cold, warm = run(main())
+        assert cold["status"] == 200
+        assert cold["content_type"].startswith(
+            "application/openmetrics-text"
+        )
+        # the serve/harrier/provenance families exist before any traffic
+        assert validate_openmetrics(cold["text"]) == []
+        for family in ("serve_admitted", "serve_rejected",
+                       "harrier_events_emitted", "harrier_warnings",
+                       "provenance_sources", "provenance_evidence"):
+            assert f"# TYPE {family} counter" in cold["text"]
+        assert validate_openmetrics(warm["text"]) == []
+        assert 'serve_admitted_total{tenant="default"} 1' in warm["text"]
+        assert "harrier_warnings_total 1" in warm["text"]
+
+        def value(text, prefix):
+            for line in text.splitlines():
+                if line.startswith(prefix):
+                    return float(line.rsplit(" ", 1)[1])
+            raise AssertionError(f"{prefix} not exposed")
+
+        assert value(warm["text"], "provenance_evidence_total") >= 1
+        assert value(warm["text"], "provenance_sources_total") >= 1
+        assert value(warm["text"], "harrier_events_emitted_total") >= 1
 
     def test_http_backpressure_maps_to_429(self, tmp_path):
         async def main():

@@ -1,7 +1,10 @@
 """Fleet telemetry merging: sample lists, stage profiles, snapshots."""
 
+import json
+
 from repro.telemetry import (
     MetricsRegistry,
+    SpanTracer,
     StageProfiler,
     TelemetrySnapshot,
     merge_sample_lists,
@@ -65,6 +68,91 @@ class TestMergeSampleLists:
     def test_merged_list_renders(self):
         merged = merge_sample_lists([_registry(counter=2).samples()])
         assert "work_total" in render_samples(merged)
+
+    def test_empty_inputs_merge_to_nothing(self):
+        assert merge_sample_lists([]) == []
+        assert merge_sample_lists([[], []]) == []
+
+    def test_empty_list_merges_with_populated_one(self):
+        merged = merge_sample_lists([[], _registry(counter=2).samples()])
+        (sample,) = merged
+        assert sample["value"] == 2
+
+    def test_disjoint_label_sets_both_survive(self):
+        a = MetricsRegistry()
+        a.counter("calls_total", name="open", tenant="x").inc()
+        b = MetricsRegistry()
+        b.counter("calls_total", name="open").inc(5)
+        merged = merge_sample_lists([a.samples(), b.samples()])
+        values = {
+            tuple(sorted(s["labels"].items())): s["value"] for s in merged
+        }
+        assert values[(("name", "open"), ("tenant", "x"))] == 1
+        assert values[(("name", "open"),)] == 5
+
+    def test_matching_histogram_buckets_sum_elementwise(self):
+        a = MetricsRegistry()
+        a.histogram("lat").observe(0.05)      # <= 0.1 bound
+        b = MetricsRegistry()
+        b.histogram("lat").observe(0.5)       # <= 1.0 bound
+        b.histogram("lat").observe(50.0)      # overflow bucket
+        a_counts = a.samples()[0]["bucket_counts"]
+        b_counts = b.samples()[0]["bucket_counts"]
+        (merged,) = merge_sample_lists([a.samples(), b.samples()])
+        assert merged["bucket_counts"] == [
+            x + y for x, y in zip(a_counts, b_counts)
+        ]
+        assert sum(merged["bucket_counts"]) == 3
+        assert merged["count"] == 3
+
+    def test_mismatched_histogram_buckets_drop_cleanly(self):
+        a = MetricsRegistry()
+        a.histogram("lat").observe(0.05)
+        b = MetricsRegistry()
+        b.histogram("lat").observe(0.4)
+        b_samples = b.samples()
+        # Simulate a worker on a different bucket ladder.
+        b_samples[0]["buckets"] = [0.5]
+        b_samples[0]["bucket_counts"] = [1, 0]
+        (merged,) = merge_sample_lists([a.samples(), b_samples])
+        # Incompatible bucket ladders: summary stats still merge, the
+        # bucket view is dropped rather than summed nonsensically.
+        assert "buckets" not in merged
+        assert "bucket_counts" not in merged
+        assert merged["count"] == 2
+        assert merged["min"] == 0.05
+        assert merged["max"] == 0.4
+
+
+class TestSpanJsonlExport:
+    def test_jsonl_round_trips_span_dicts(self, tmp_path):
+        tracer = SpanTracer()
+        outer = tracer.start("run", "run", tick=0, program="guest")
+        inner = tracer.start("SYS_open", "syscall", tick=3, parent=outer)
+        tracer.end(inner, tick=7, errno=0)
+        tracer.end(outer, tick=9)
+        path = tmp_path / "trace.jsonl"
+        tracer.write(str(path))
+        lines = path.read_text().strip().splitlines()
+        decoded = [json.loads(line) for line in lines]
+        assert decoded == [s.to_dict() for s in tracer.finished()]
+        by_name = {d["name"]: d for d in decoded}
+        assert by_name["SYS_open"]["parent_id"] == by_name["run"]["span_id"]
+        assert by_name["SYS_open"]["duration_ticks"] == 4
+        assert by_name["SYS_open"]["attrs"]["errno"] == 0
+
+    def test_unfinished_spans_stay_out_of_the_export(self, tmp_path):
+        tracer = SpanTracer()
+        tracer.start("dangling", "run", tick=0)
+        done = tracer.start("done", "run", tick=0)
+        tracer.end(done, tick=1)
+        path = tmp_path / "trace.jsonl"
+        tracer.write(str(path))
+        decoded = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert [d["name"] for d in decoded] == ["done"]
 
 
 class TestProfilerFromDicts:
