@@ -17,11 +17,16 @@ when either property breaks:
 * the provenance evidence recorder costs more than
   :data:`PROVENANCE_OVERHEAD` over a provenance-off run, or turning it
   off changes retired instructions or warnings (modulo the ``evidence``
-  payload itself).
+  payload itself);
+* a warm verdict-cache hit on the Section 9 workload is not at least
+  :data:`VERDICT_CACHE_SPEEDUP` times faster than executing it, is not
+  bit-identical to the executed report, or the ``cache_*`` counter
+  families are missing from the OpenMetrics exposition.
 
 Designed for CI::
 
     PYTHONPATH=src python -m benchmarks.perf_smoke
+    PYTHONPATH=src python -m benchmarks.perf_smoke verdict_cache  # one check
 
 Prints the measured times and the speedups either way.  This is a smoke
 test, not a benchmark — the real numbers live in
@@ -62,6 +67,14 @@ FLEET_REPS = 3
 #: The evidence recorder rides the existing event stream, so a
 #: provenance-on run may cost at most this factor over provenance-off.
 PROVENANCE_OVERHEAD = 1.5
+
+#: A warm verdict-cache hit (p50 over many lookups) must beat fresh
+#: execution of the Section 9 workload by at least this factor — a hit
+#: is one digest + one memory-LRU unpickle, execution is millions of
+#: monitored guest ticks.
+VERDICT_CACHE_SPEEDUP = 50.0
+#: Hit-latency sample count for the p50 (cheap: no execution).
+CACHE_HIT_SAMPLES = 25
 
 
 def measure(name_a: str, name_b: str) -> tuple:
@@ -252,13 +265,108 @@ def check_provenance() -> int:
     return 0
 
 
-def main() -> int:
-    return (
-        check_block_cache()
-        or check_fastpath()
-        or check_fleet()
-        or check_provenance()
+def check_verdict_cache() -> int:
+    """Warm hits are bit-identical, ~free, and visible in OpenMetrics."""
+    from benchmarks.bench_performance import WORKLOAD_SOURCE
+    from repro.api import Session, VerdictCache
+    from repro.telemetry.metrics import MetricsRegistry, render_openmetrics
+
+    registry = MetricsRegistry()
+    cached = Session(cache=VerdictCache(metrics=registry))
+    fresh_report = cached.run(WORKLOAD_SOURCE, path="/bin/perf")
+
+    # Fresh-execution baseline on a warm *uncached* session, so the
+    # comparison is hit-vs-execution, not hit-vs-cold-translation.
+    plain = Session()
+    plain.run(WORKLOAD_SOURCE, path="/bin/perf")  # warm-up
+    best_exec = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        plain.run(WORKLOAD_SOURCE, path="/bin/perf")
+        best_exec = min(best_exec, time.perf_counter() - start)
+
+    samples = []
+    hit = None
+    for _ in range(CACHE_HIT_SAMPLES):
+        start = time.perf_counter()
+        hit = cached.run(WORKLOAD_SOURCE, path="/bin/perf")
+        samples.append(time.perf_counter() - start)
+    hit_p50 = sorted(samples)[len(samples) // 2]
+
+    if json.dumps(hit.to_dict(), sort_keys=True, default=str) != (
+        json.dumps(fresh_report.to_dict(), sort_keys=True, default=str)
+    ):
+        print(
+            "FAIL: the cached reply is not bit-identical to execution",
+            file=sys.stderr,
+        )
+        return 1
+
+    speedup = best_exec / hit_p50 if hit_p50 else float("inf")
+    print(
+        f"perf smoke: exec={best_exec * 1000:.2f} ms "
+        f"warm-hit p50={hit_p50 * 1000:.3f} ms "
+        f"speedup={speedup:.0f}x "
+        f"({cached.cache.stats.hits} hits, "
+        f"{cached.cache.stats.misses} miss)"
     )
+
+    exposition = render_openmetrics(registry.samples())
+    cache_lines = [
+        line for line in exposition.splitlines()
+        if line.startswith("cache_") or "TYPE cache_" in line
+    ]
+    print("perf smoke: OpenMetrics cache families:")
+    for line in cache_lines:
+        print(f"  {line}")
+    for needle in ("cache_hits_total", "cache_misses_total"):
+        if not any(needle in line for line in cache_lines):
+            print(
+                f"FAIL: {needle} missing from the OpenMetrics exposition",
+                file=sys.stderr,
+            )
+            return 1
+
+    if speedup < VERDICT_CACHE_SPEEDUP:
+        print(
+            f"FAIL: warm verdict-cache hit speedup {speedup:.0f}x is "
+            f"below the {VERDICT_CACHE_SPEEDUP:.0f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: warm verdict-cache hits are >= "
+        f"{VERDICT_CACHE_SPEEDUP:.0f}x faster than execution and "
+        "bit-identical"
+    )
+    return 0
+
+
+#: Name -> check, in default execution order (``perf_smoke <name>...``
+#: runs a subset — the CI cache job runs just ``verdict_cache``).
+CHECKS = {
+    "block_cache": check_block_cache,
+    "fastpath": check_fastpath,
+    "fleet": check_fleet,
+    "provenance": check_provenance,
+    "verdict_cache": check_verdict_cache,
+}
+
+
+def main(argv=None) -> int:
+    names = list(sys.argv[1:] if argv is None else argv) or list(CHECKS)
+    unknown = [n for n in names if n not in CHECKS]
+    if unknown:
+        print(
+            f"unknown check(s) {unknown}; available: {list(CHECKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        status = CHECKS[name]()
+        if status:
+            return status
+    return 0
 
 
 if __name__ == "__main__":

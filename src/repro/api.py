@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence, Union
 
+from repro.cache.digest import CacheEnv, run_key, workload_key
+from repro.cache.store import VerdictCache, bypass_reason
 from repro.core.engine import EngineCache
 from repro.core.hth import HTH
 from repro.core.options import RunOptions
@@ -57,11 +59,36 @@ class Session:
         self,
         options: Optional[RunOptions] = None,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[VerdictCache] = None,
     ) -> None:
         self.options = options if options is not None else RunOptions()
         self.telemetry = telemetry
         self.engine = EngineCache()
+        #: Optional verdict cache (``repro.cache``).  When attached,
+        #: cacheable runs are answered from it without executing and
+        #: clean fresh reports populate it.  ``None`` (the default)
+        #: keeps the historical always-execute behaviour.
+        self.cache = cache
         self.runs = 0
+
+    # -- verdict cache ----------------------------------------------------
+    def _cache_key_for(self, options: RunOptions, telemetry, analyzer,
+                       fault_injector=None, opaque_setup: bool = False,
+                       key_fn=None):
+        """The cache key for a run, or None (with the bypass counted)."""
+        if self.cache is None:
+            return None
+        reason = bypass_reason(
+            options,
+            telemetry=telemetry if telemetry is not None else self.telemetry,
+            fault_injector=fault_injector,
+            analyzer=analyzer,
+            opaque_setup=opaque_setup,
+        )
+        if reason is not None:
+            self.cache.bypass(reason)
+            return None
+        return key_fn()
 
     # -- machine building --------------------------------------------------
     def machine(
@@ -102,6 +129,7 @@ class Session:
         telemetry: Optional[Telemetry] = None,
         path: Optional[str] = None,
         analyzer=None,
+        cache_env: Optional[CacheEnv] = None,
     ) -> RunReport:
         """Run one guest program and report.
 
@@ -109,15 +137,38 @@ class Session:
         text (assembled through the warm memo as ``path``, default
         ``/bin/guest``).  ``setup(hth)`` runs before the guest — seed
         files, register peers, provide input.
+
+        A run with a ``setup`` closure is opaque to the verdict cache
+        unless ``cache_env`` declares the environment the closure builds
+        (seeded files + peers); the CLI and the serve worker both derive
+        their setup from exactly that declarative data.
         """
         if isinstance(program, str):
             program = self.engine.image(path or "/bin/guest", program)
+        key = self._cache_key_for(
+            options if options is not None else self.options,
+            telemetry, analyzer,
+            opaque_setup=(setup is not None and cache_env is None),
+            key_fn=lambda: run_key(
+                program,
+                options if options is not None else self.options,
+                argv=argv, env=env, stdin=stdin, cache_env=cache_env,
+            ),
+        )
+        if key is not None:
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                self.runs += 1
+                return hit
         hth = self.machine(
             options=options, telemetry=telemetry, setup=setup,
             analyzer=analyzer,
         )
         self.runs += 1
-        return hth.run(program, argv=argv, env=env, stdin=stdin)
+        report = hth.run(program, argv=argv, env=env, stdin=stdin)
+        if key is not None:
+            self.cache.store_report(key, report)
+        return report
 
     def run_workload(
         self,
@@ -131,8 +182,28 @@ class Session:
         """Run one registry :class:`Workload` (its setup/argv/stdin/budgets
         included) on this session's warm engine."""
         options = options if options is not None else self.options
+        # The key must see the budgets the run actually uses: an explicit
+        # wall_timeout argument overrides the options field, and the
+        # workload's own max_ticks wins inside Workload.run — both are
+        # folded in (workload_key hashes workload.max_ticks itself).
+        effective = (
+            options if wall_timeout is None
+            else options.replaced(wall_timeout=wall_timeout)
+        )
+        key = self._cache_key_for(
+            effective, telemetry, analyzer,
+            fault_injector=fault_injector,
+            key_fn=lambda: workload_key(
+                workload, effective, engine=self.engine
+            ),
+        )
+        if key is not None:
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                self.runs += 1
+                return hit
         self.runs += 1
-        return workload.run(
+        report = workload.run(
             telemetry=telemetry if telemetry is not None else self.telemetry,
             fault_injector=fault_injector,
             wall_timeout=wall_timeout,
@@ -140,6 +211,11 @@ class Session:
             engine=self.engine,
             analyzer=analyzer,
         )
+        if key is not None:
+            self.cache.store_report(
+                key, report, meta={"workload": workload.name}
+            )
+        return report
 
 
 def run(
@@ -161,9 +237,11 @@ def run_workload(
 
 
 __all__ = [
+    "CacheEnv",
     "Session",
     "RunOptions",
     "RunReport",
+    "VerdictCache",
     "run",
     "run_workload",
 ]

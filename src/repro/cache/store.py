@@ -1,0 +1,406 @@
+"""The verdict cache store: in-memory LRU tier + optional disk tier.
+
+Values are pickled once at store time and unpickled on every hit, so a
+hit always hands back a *fresh* object graph — callers may mutate a
+cached :class:`RunReport` without poisoning later hits, and the bytes in
+the memory tier are exactly the bytes on disk.
+
+The disk tier is safe for concurrent fleet workers without locking:
+entries are content-addressed (identical keys always carry identical
+payloads, so a racing double-write is harmless), writes go through a
+unique temp file + :func:`os.replace` (atomic on POSIX), and a corrupt
+or truncated entry reads as a miss, never as an error.
+
+Cache *policy* lives here too: :func:`bypass_reason` names every
+situation in which a run must not be answered (or populated) from
+cache — the cache is disabled, fault injection is active (chaos runs
+must really execute), telemetry is being collected (a cached reply has
+no fresh samples to contribute), or the run carries an opaque analyzer
+or setup closure the key cannot describe.  Stores are refused for
+degraded or watchdog-killed reports so a retry always re-executes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+# -- bypass reasons (values appear as the cache_bypass_total{reason=} label)
+BYPASS_DISABLED = "disabled"
+BYPASS_FAULTS = "faults"
+BYPASS_TELEMETRY = "telemetry"
+BYPASS_ANALYZER = "analyzer"
+BYPASS_OPAQUE_SETUP = "opaque-setup"
+
+_BYPASS_REASONS = (
+    BYPASS_DISABLED,
+    BYPASS_FAULTS,
+    BYPASS_TELEMETRY,
+    BYPASS_ANALYZER,
+    BYPASS_OPAQUE_SETUP,
+)
+
+#: pickle protocol 4 is stable across the supported interpreters.
+_PICKLE_PROTOCOL = 4
+
+
+def bypass_reason(
+    options,
+    telemetry=None,
+    fault_injector=None,
+    analyzer=None,
+    opaque_setup: bool = False,
+) -> Optional[str]:
+    """Why this run must skip the cache, or None if it is cacheable.
+
+    Ordering matters for the counters: an explicit ``--no-cache`` wins
+    over everything, then chaos/fault injection, then telemetry.
+    """
+    if not getattr(options, "cache", True):
+        return BYPASS_DISABLED
+    if fault_injector is not None or options.fault_profile is not None:
+        return BYPASS_FAULTS
+    if telemetry is not None or options.wants_telemetry:
+        return BYPASS_TELEMETRY
+    if analyzer is not None:
+        return BYPASS_ANALYZER
+    if opaque_setup:
+        return BYPASS_OPAQUE_SETUP
+    return None
+
+
+def cacheable_report(report) -> bool:
+    """Whether a fresh :class:`RunReport` may populate the cache.
+
+    Watchdog kills and degraded runs (monitor faults, quarantined rules,
+    dropped events) are transient outcomes — the fleet retries them, so
+    remembering them would freeze a flake forever.
+    """
+    return report.result.reason != "watchdog" and not report.degraded
+
+
+def cacheable_report_dict(report: Dict[str, Any]) -> bool:
+    """`cacheable_report` for wire-form (``to_dict``) reports."""
+    result = report.get("result") or {}
+    return result.get("reason") != "watchdog" and not report.get("degraded")
+
+
+class MemoryLRU:
+    """A byte-valued LRU map; the hot tier of the verdict cache."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = max(1, int(capacity))
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        payload = self._entries.get(key)
+        if payload is not None:
+            self._entries.move_to_end(key)
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class DiskStore:
+    """Content-addressed entries on disk, shareable between processes.
+
+    Layout: ``<root>/<key[:2]>/<key>.rvc`` — the two-hex-char shard keeps
+    directories small on big sweeps.  Each entry is a pickled envelope
+    ``{"key", "meta", "value"}``; the embedded key is checked on read so
+    a renamed or mangled file can never answer for the wrong digest.
+    """
+
+    SUFFIX = ".rvc"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.corrupt = 0
+        self._seq = 0
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + self.SUFFIX)
+
+    def read(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = fh.read()
+        except OSError:
+            return None
+        try:
+            envelope = pickle.loads(payload)
+            if envelope.get("key") != key:
+                raise ValueError("key mismatch")
+        except Exception:
+            self.corrupt += 1
+            return None
+        return payload
+
+    def write(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._seq += 1
+        tmp = f"{path}.tmp.{os.getpid()}.{self._seq}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            # A full or read-only disk degrades to a smaller cache, not
+            # a failed run.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any], int]]:
+        """Yield ``(key, meta, size_bytes)`` for every readable entry."""
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(self.SUFFIX):
+                    continue
+                key = name[: -len(self.SUFFIX)]
+                payload = self.read(key)
+                if payload is None:
+                    continue
+                envelope = pickle.loads(payload)
+                yield key, envelope.get("meta") or {}, len(payload)
+
+    def clear(self) -> int:
+        removed = 0
+        for shard in list(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in list(os.listdir(shard_dir)):
+                if name.endswith(self.SUFFIX):
+                    try:
+                        os.unlink(os.path.join(shard_dir, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    mem_hits: int = 0
+    disk_hits: int = 0
+    store_skips: int = 0
+    unpicklable: int = 0
+    bypass: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class VerdictCache:
+    """Two-tier content-addressed verdict cache.
+
+    ``namespace`` keeps differently-shaped values from colliding in a
+    shared store: the Session caches pickled :class:`RunReport` objects
+    (``"session"``) while the serve daemon caches wire dicts
+    (``"serve"``) — both may point at the same ``disk_dir``.
+
+    With a ``metrics`` registry attached, every operation lands in the
+    ``cache_*`` OpenMetrics families (pre-touched to zero at
+    construction so scrapes see them before the first lookup).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        disk_dir: Optional[str] = None,
+        metrics=None,
+        namespace: str = "session",
+    ) -> None:
+        self.namespace = namespace
+        self.memory = MemoryLRU(capacity)
+        self.disk = DiskStore(disk_dir) if disk_dir else None
+        self.stats = CacheStats()
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.counter("cache_hits_total", tier="memory")
+            metrics.counter("cache_hits_total", tier="disk")
+            metrics.counter("cache_misses_total")
+            metrics.counter("cache_stores_total")
+            for reason in _BYPASS_REASONS:
+                metrics.counter("cache_bypass_total", reason=reason)
+            metrics.counter("cache_evictions_total")
+            metrics.counter("cache_corrupt_total")
+            metrics.gauge("cache_entries")
+            metrics.histogram("cache_lookup_seconds")
+
+    def _full_key(self, key: str) -> str:
+        return f"{self.namespace}-{key}"
+
+    # -- the cache protocol -------------------------------------------------
+    def lookup(self, key: str) -> Optional[Any]:
+        """Return a fresh copy of the cached value, or None on miss."""
+        started = time.perf_counter()
+        full = self._full_key(key)
+        tier = None
+        payload = self.memory.get(full)
+        if payload is not None:
+            tier = "memory"
+        elif self.disk is not None:
+            payload = self.disk.read(full)
+            if payload is not None:
+                tier = "disk"
+                self.memory.put(full, payload)
+        if self.metrics is not None:
+            self.metrics.histogram("cache_lookup_seconds").observe(
+                time.perf_counter() - started
+            )
+        if payload is None:
+            self.stats.misses += 1
+            if self.metrics is not None:
+                self.metrics.counter("cache_misses_total").inc()
+            return None
+        self.stats.hits += 1
+        if tier == "memory":
+            self.stats.mem_hits += 1
+        else:
+            self.stats.disk_hits += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache_hits_total", tier=tier).inc()
+        return pickle.loads(payload)["value"]
+
+    def store(
+        self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None
+    ) -> bool:
+        full = self._full_key(key)
+        envelope = {
+            "key": full,
+            "meta": {"namespace": self.namespace, **(meta or {})},
+            "value": value,
+        }
+        try:
+            payload = pickle.dumps(envelope, protocol=_PICKLE_PROTOCOL)
+        except Exception:
+            self.stats.unpicklable += 1
+            return False
+        self.memory.put(full, payload)
+        if self.disk is not None:
+            self.disk.write(full, payload)
+        self.stats.stores += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache_stores_total").inc()
+            self.metrics.gauge("cache_entries").set(len(self.memory))
+        return True
+
+    def store_report(self, key: str, report, meta=None) -> bool:
+        """Store a fresh RunReport if its outcome is cacheable."""
+        if not cacheable_report(report):
+            self.stats.store_skips += 1
+            return False
+        info = {
+            "program": report.program,
+            "verdict": report.verdict.value,
+            "warnings": len(report.warnings),
+        }
+        info.update(meta or {})
+        return self.store(key, report, meta=info)
+
+    def bypass(self, reason: str) -> None:
+        self.stats.bypass[reason] = self.stats.bypass.get(reason, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter("cache_bypass_total", reason=reason).inc()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap = {
+            "namespace": self.namespace,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": round(self.stats.hit_rate, 4),
+            "stores": self.stats.stores,
+            "store_skips": self.stats.store_skips,
+            "unpicklable": self.stats.unpicklable,
+            "memory_hits": self.stats.mem_hits,
+            "disk_hits": self.stats.disk_hits,
+            "memory_entries": len(self.memory),
+            "evictions": self.memory.evictions,
+            "bypass": dict(sorted(self.stats.bypass.items())),
+            "disk_dir": self.disk.root if self.disk is not None else None,
+            "disk_corrupt": self.disk.corrupt if self.disk else 0,
+        }
+        if self.metrics is not None:
+            self.metrics.counter(
+                "cache_evictions_total"
+            ).value = self.memory.evictions
+            self.metrics.counter(
+                "cache_corrupt_total"
+            ).value = self.disk.corrupt if self.disk else 0
+        return snap
+
+    def clear(self) -> None:
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+
+def merge_cache_stats(parts) -> Dict[str, Any]:
+    """Deterministically merge per-worker cache snapshots (fleet merge).
+
+    Counters add; the hit rate is recomputed from the merged totals, so
+    the result is independent of worker arrival order.
+    """
+    merged: Dict[str, Any] = {
+        "hits": 0,
+        "misses": 0,
+        "stores": 0,
+        "store_skips": 0,
+        "memory_hits": 0,
+        "disk_hits": 0,
+        "evictions": 0,
+        "bypass": {},
+        "workers": 0,
+    }
+    for part in parts:
+        if not part:
+            continue
+        merged["workers"] += 1
+        for field_name in (
+            "hits", "misses", "stores", "store_skips",
+            "memory_hits", "disk_hits", "evictions",
+        ):
+            merged[field_name] += int(part.get(field_name, 0))
+        for reason, count in (part.get("bypass") or {}).items():
+            merged["bypass"][reason] = (
+                merged["bypass"].get(reason, 0) + int(count)
+            )
+    total = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = round(
+        merged["hits"] / total, 4
+    ) if total else 0.0
+    merged["bypass"] = dict(sorted(merged["bypass"].items()))
+    return merged

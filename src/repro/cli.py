@@ -30,6 +30,10 @@ Usage (also via ``python -m repro``)::
 
     # Perfetto-loadable trace + metrics dump of any run
     python -m repro run trojan.s --trace trace.json --metrics
+
+    # warm-cache sweeps: repeat traffic answers from the verdict cache
+    python -m repro fleet --workers 4 --cache-dir .repro-cache
+    python -m repro cache stats --dir .repro-cache
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from typing import Optional, Sequence
 from repro.analysis.instrumentation import render_listing
 from repro.analysis.secure_binary import check_secure_binary
 from repro.api import Session
+from repro.cache import CacheEnv, DiskStore, VerdictCache
 from repro.core.hth import HTH
 from repro.core.options import RunOptions
 from repro.core.report import RunReport
@@ -159,9 +164,31 @@ def _run_options(args: argparse.Namespace, **overrides) -> RunOptions:
         block_cache=not getattr(args, "no_block_cache", False),
         taint_fastpath=not getattr(args, "no_taint_fastpath", False),
         provenance=not getattr(args, "no_provenance", False),
+        cache=not getattr(args, "no_cache", False),
         max_ticks=getattr(args, "max_ticks", None) or 5_000_000,
         **overrides,
     )
+
+
+def _build_cache(args: argparse.Namespace) -> Optional[VerdictCache]:
+    """A verdict cache when the command asked for one on disk.
+
+    A purely in-memory cache is pointless for a one-shot CLI process,
+    so the CLI only attaches a cache when ``--cache-dir`` names a store
+    that outlives the invocation.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir or getattr(args, "no_cache", False):
+        return None
+    return VerdictCache(disk_dir=cache_dir)
+
+
+def _print_cache_line(cache: Optional[VerdictCache]) -> None:
+    if cache is None:
+        return
+    snap = cache.snapshot()
+    print(f"cache   : {snap['hits']} hit(s), {snap['misses']} miss(es), "
+          f"{snap['stores']} stored")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -172,16 +199,30 @@ def cmd_run(args: argparse.Namespace) -> int:
         complete_dataflow=not args.incomplete_dataflow,
     )
     telemetry = _build_telemetry(args)
+    cache = _build_cache(args)
     session = Session(
-        _run_options(args, harrier_config=config), telemetry=telemetry
+        _run_options(args, harrier_config=config), telemetry=telemetry,
+        cache=cache,
     )
+    # The CLI's --file/--peer/--serve setup is declarative, so it can
+    # travel into the cache key as a CacheEnv — without it the setup
+    # closure would be opaque and every run a forced miss.
+    files = dict(_parse_kv("file", entry) for entry in (args.file or ()))
+    peers = {}
+    for entry in args.peer or ():
+        peers[entry] = ""
+    for entry in args.serve or ():
+        addr, payload = _parse_kv("serve", entry)
+        peers[addr] = payload
     report = session.run(
         image,
         argv=[image.name] + list(args.arg or ()),
         stdin=args.stdin,
         setup=lambda hth: _apply_run_setup(hth, args),
+        cache_env=CacheEnv.from_mappings(files, peers),
     )
     _print_report(report, args.events)
+    _print_cache_line(cache)
     _emit_telemetry(telemetry, args)
     if args.json:
         out = pathlib.Path(args.json)
@@ -244,7 +285,8 @@ _TABLE_BENCHES = REGISTRIES
 def cmd_table(args: argparse.Namespace) -> int:
     workloads = registry_workloads(args.number)
     telemetry = _build_telemetry(args)
-    session = Session(_run_options(args), telemetry=telemetry)
+    cache = _build_cache(args)
+    session = Session(_run_options(args), telemetry=telemetry, cache=cache)
     width = max(len(w.name) for w in workloads)
     failures = 0
     for workload in workloads:
@@ -258,6 +300,7 @@ def cmd_table(args: argparse.Namespace) -> int:
         print(f"{workload.name:{width}s}  {report.verdict.value:7s} "
               f"(expected {workload.expected_verdict.value:7s})  "
               f"{mark}  {rules}")
+    _print_cache_line(cache)
     _emit_telemetry(telemetry, args)
     return 1 if failures else 0
 
@@ -470,12 +513,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         metrics=bool(args.metrics),
         trace=bool(args.trace),
     )
+    cache_dir = None if args.no_cache else args.cache_dir
     fleet = run_fleet(
         refs,
         options=options,
         workers=args.workers,
         shard_by=args.shard_by,
         max_retries=args.max_retries,
+        cache_dir=cache_dir,
     )
     width = max(len(r.name) for r in fleet.runs)
     for record in fleet.runs:
@@ -491,6 +536,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print(f"{record.name:{width}s}  {verdict:7s} "
               f"worker={record.worker}  {mark}{extras}")
     print(fleet.summary_line())
+    if fleet.cache_stats is not None:
+        stats = fleet.cache_stats
+        print(f"cache   : {stats['hits']} hit(s), {stats['misses']} "
+              f"miss(es), {stats['stores']} stored "
+              f"(hit rate {stats['hit_rate']:.2f})")
     if args.metrics and fleet.telemetry is not None:
         print("\n--- fleet telemetry metrics (merged) ---")
         print(render_samples(fleet.telemetry.metrics))
@@ -534,6 +584,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tick_burst=args.tick_burst,
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries,
     )
 
     async def main() -> None:
@@ -572,6 +625,7 @@ def _submission_from_args(args: argparse.Namespace):
             workload=(args.table, args.workload),
             options=options, tenant=args.tenant,
             name=args.workload,
+            triage=args.triage,
         )
     if not args.source:
         raise SystemExit("need a guest source file or --table/--workload")
@@ -600,6 +654,7 @@ def _submission_from_args(args: argparse.Namespace):
         options=options,
         tenant=args.tenant,
         name=path.name,
+        triage=args.triage,
     )
 
 
@@ -616,8 +671,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
             return
         kind = event.get("kind")
         if kind == "accepted":
+            cached = " [cached]" if event.get("cached") else ""
             print(f"accepted as {event['job']} "
-                  f"(queue depth {event['queue_depth']})")
+                  f"(queue depth {event['queue_depth']}){cached}")
+        elif kind == "triage":
+            p = event["profile"]
+            print(f"  triage: {p.get('text_size', 0)} insn, "
+                  f"entropy {p.get('entropy', 0):.2f}, "
+                  f"{len(p.get('strings') or ())} string(s), "
+                  f"{len(p.get('iocs') or ())} IOC(s), "
+                  f"simhash {p.get('simhash')}")
         elif kind == "warning":
             w = event["warning"]
             print(f"  [{w['severity']:6s}] {w['rule']}: {w['headline']}")
@@ -656,6 +719,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     print(f"timing  : queue {timing.get('queue_wait', 0):.3f}s, "
           f"exec {timing.get('exec', 0):.3f}s "
           f"({timing.get('attempts', 1)} attempt(s))")
+    if terminal.get("cached"):
+        print("cache   : hit (answered without execution)")
     if args.fail_on:
         threshold = {"low": 1, "medium": 2, "high": 3}[args.fail_on]
         order = {"LOW": 1, "MEDIUM": 2, "HIGH": 3}
@@ -666,6 +731,56 @@ def cmd_submit(args: argparse.Namespace) -> int:
         if worst >= threshold:
             return 1
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear an on-disk verdict cache (``repro cache``)."""
+    root = pathlib.Path(args.dir)
+    store = DiskStore(str(root))
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {root}")
+        return 0
+
+    entries = sorted(store.entries(), key=lambda e: e[0])
+    if args.action == "stats":
+        total = sum(size for _, _, size in entries)
+        namespaces: dict = {}
+        for key, _, _ in entries:
+            ns = key.partition("-")[0]
+            namespaces[ns] = namespaces.get(ns, 0) + 1
+        print(f"store   : {root}")
+        print(f"entries : {len(entries)}")
+        print(f"bytes   : {total}")
+        for ns in sorted(namespaces):
+            print(f"  {ns:8s}: {namespaces[ns]}")
+        return 0
+
+    # inspect: one line per entry, meta included.
+    if not entries:
+        print(f"empty store at {root}")
+        return 0
+    for key, meta, size in entries:
+        meta = meta or {}
+        label = meta.get("workload") or meta.get("program") or "-"
+        verdict = meta.get("verdict", "?")
+        warnings = meta.get("warnings", "?")
+        print(f"{key}  {size:6d}B  {label}  verdict={verdict} "
+              f"warnings={warnings}")
+    return 0
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="never answer from (or remember into) the verdict cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed on-disk verdict cache shared across "
+             "invocations (and fleet workers)",
+    )
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -723,6 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(feed it to `repro explain`)")
     run.add_argument("--fail-on", choices=("low", "medium", "high"),
                      help="exit nonzero when warnings reach this severity")
+    _add_cache_options(run)
     _add_telemetry_options(run)
     run.set_defaults(func=cmd_run)
 
@@ -761,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the zero-taint dataflow fast path")
     table.add_argument("--no-provenance", action="store_true",
                        help="skip recording per-warning evidence trails")
+    _add_cache_options(table)
     _add_telemetry_options(table)
     table.set_defaults(func=cmd_table)
 
@@ -820,9 +937,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: 4; clamped to "
                             "the task count)")
     fleet.add_argument("--shard-by",
-                       choices=("interleave", "chunk", "name"),
+                       choices=("interleave", "chunk", "name", "cluster"),
                        default="interleave",
-                       help="shard strategy (default: interleave)")
+                       help="shard strategy (default: interleave; "
+                            "cluster groups near-duplicate workloads by "
+                            "triage simhash so shards share cache "
+                            "locality)")
     fleet.add_argument("--max-retries", type=int, default=1,
                        help="retries per run on watchdog/monitor-fault "
                             "outcomes (default: 1)")
@@ -835,6 +955,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip recording per-warning evidence trails")
     fleet.add_argument("--json", metavar="FILE",
                        help="write the merged FleetReport as JSON")
+    _add_cache_options(fleet)
     _add_telemetry_options(fleet)
     fleet.set_defaults(func=cmd_fleet)
 
@@ -879,6 +1000,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics", action="store_true",
                        help="print the daemon's metrics registry after "
                             "shutdown")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the daemon's verdict cache (every "
+                            "submission executes)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persist the daemon's verdict cache on disk")
+    serve.add_argument("--cache-entries", type=int, default=512,
+                       help="in-memory verdict cache capacity "
+                            "(default: 512)")
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser(
@@ -920,6 +1049,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the zero-taint dataflow fast path")
     submit.add_argument("--no-provenance", action="store_true",
                         help="skip recording per-warning evidence trails")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="ask the daemon to execute fresh instead of "
+                             "answering from its verdict cache")
+    submit.add_argument("--triage", action="store_true",
+                        help="stream the static triage profile of the "
+                             "submitted image before the run")
     submit.add_argument("--fail-on", choices=("low", "medium", "high"),
                         help="exit nonzero when warnings reach this "
                              "severity")
@@ -958,6 +1093,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("-o", "--output", default="hth_report.md")
     report.set_defaults(func=cmd_report)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear an on-disk verdict cache",
+    )
+    cache.add_argument("action", choices=("stats", "inspect", "clear"))
+    cache.add_argument("--dir", required=True, metavar="DIR",
+                       help="cache directory (the --cache-dir of the "
+                            "runs that filled it)")
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

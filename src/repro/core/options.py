@@ -79,6 +79,12 @@ class RunOptions:
     #: Budgets: virtual-time tick limit and the wall-clock watchdog.
     max_ticks: int = DEFAULT_MAX_TICKS
     wall_timeout: Optional[float] = None
+    #: Allow the verdict cache to answer (and remember) this run.  This
+    #: is an enable switch, not configuration of the run itself, so it is
+    #: the one field *excluded* from the cache-key fingerprint — and note
+    #: it only matters where a cache is actually attached (a Session
+    #: built with one, a fleet ``cache_dir``, the serve daemon).
+    cache: bool = True
 
     # -- derived -----------------------------------------------------------
     @property

@@ -42,6 +42,8 @@ import zlib
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.api import Session
+from repro.cache.store import VerdictCache, merge_cache_stats
+from repro.cache.triage import cluster_order, simhash64
 from repro.core.options import RunOptions
 from repro.fleet.merge import merged_telemetry
 from repro.fleet.refs import FleetTask, WorkloadRef, make_tasks
@@ -53,7 +55,7 @@ from repro.fleet.worker import (
     worker_main,
 )
 
-SHARD_STRATEGIES = ("interleave", "chunk", "name")
+SHARD_STRATEGIES = ("interleave", "chunk", "name", "cluster")
 
 #: How long the coordinator waits on the result queue before checking
 #: worker liveness, seconds.
@@ -72,6 +74,11 @@ def shard(
     * ``name`` — stable hash of the workload name: the same workload
       always lands on the same worker regardless of task order (useful
       for seed sweeps repeating each workload many times).
+    * ``cluster`` — static-triage similarity order (simhash over opcode
+      n-grams, see :mod:`repro.cache.triage`), then contiguous chunks:
+      near-duplicate variants share a worker and its warm caches.
+      Purely a scheduling choice — the merged report is still ordered
+      by task index, so results are unchanged.
     """
     if shard_by not in SHARD_STRATEGIES:
         raise ValueError(
@@ -79,12 +86,13 @@ def shard(
             f"expected one of {SHARD_STRATEGIES}"
         )
     shards: List[List[FleetTask]] = [[] for _ in range(workers)]
-    if shard_by == "chunk":
-        per, extra = divmod(len(tasks), workers)
+    if shard_by in ("chunk", "cluster"):
+        ordered = cluster_tasks(tasks) if shard_by == "cluster" else tasks
+        per, extra = divmod(len(ordered), workers)
         start = 0
         for i in range(workers):
             size = per + (1 if i < extra else 0)
-            shards[i] = list(tasks[start:start + size])
+            shards[i] = list(ordered[start:start + size])
             start += size
     elif shard_by == "name":
         for task in tasks:
@@ -94,6 +102,25 @@ def shard(
         for i, task in enumerate(tasks):
             shards[i % workers].append(task)
     return shards
+
+
+def cluster_tasks(tasks: Sequence[FleetTask]) -> List[FleetTask]:
+    """Tasks reordered so statically-similar workloads are adjacent.
+
+    Each task's workload is resolved and assembled (deterministic, no
+    execution) and its triage simhash drives a nearest-neighbour chain.
+    A task whose workload will not resolve keeps simhash 0 — it still
+    lands in a shard, and the failure surfaces as a normal run record.
+    """
+    pairs = []
+    for task in tasks:
+        try:
+            image = task.ref.resolve().image()
+        except Exception:
+            pairs.append((task, 0))
+        else:
+            pairs.append((task, simhash64(image.text)))
+    return cluster_order(pairs)
 
 
 def _normalize_tasks(
@@ -171,9 +198,12 @@ def _run_serial(
     backoff: float,
     stop_event=None,
     max_retry_wall: float = DEFAULT_MAX_RETRY_WALL,
-) -> List[FleetRunRecord]:
+    cache_dir: Optional[str] = None,
+) -> tuple:
     """The workers=1 path: same retry loop, same warm session, in-process."""
-    session = Session()
+    session = Session(
+        cache=VerdictCache(disk_dir=cache_dir) if cache_dir else None
+    )
     records = []
     for task in sorted(tasks, key=lambda t: t.index):
         if stop_event is not None and stop_event.is_set():
@@ -185,7 +215,10 @@ def _run_serial(
             max_retry_wall=max_retry_wall,
         )
         records.append(FleetRunRecord.from_wire(wire))
-    return records
+    cache_parts = (
+        [session.cache.snapshot()] if session.cache is not None else []
+    )
+    return records, cache_parts
 
 
 def _mp_context(name: Optional[str] = None):
@@ -204,9 +237,10 @@ def _collect(
     assigned: Dict[int, List[FleetTask]],
     result_queue,
     stop_event=None,
-) -> List[FleetRunRecord]:
+) -> tuple:
     """Drain the result queue until every worker finished or died."""
     records: Dict[int, FleetRunRecord] = {}
+    cache_parts: Dict[int, dict] = {}
     clean_exit: set = set()
     done: set = set()
     while len(done) < len(procs):
@@ -220,6 +254,8 @@ def _collect(
         if msg.get("kind") == "worker-done":
             done.add(msg["worker"])
             clean_exit.add(msg["worker"])
+            if msg.get("cache"):
+                cache_parts[msg["worker"]] = msg["cache"]
         else:
             records[msg["index"]] = FleetRunRecord.from_wire(msg)
     # Synthesize records for tasks that never reported: cancelled when
@@ -244,7 +280,10 @@ def _collect(
                         f"(exit code {exit_code})"
                     ),
                 )
-    return [records[i] for i in sorted(records)]
+    ordered_records = [records[i] for i in sorted(records)]
+    # Deterministic merge: worker order, not arrival order.
+    ordered_parts = [cache_parts[wid] for wid in sorted(cache_parts)]
+    return ordered_records, ordered_parts
 
 
 def run_fleet(
@@ -257,6 +296,7 @@ def run_fleet(
     max_retry_wall: float = DEFAULT_MAX_RETRY_WALL,
     mp_start_method: Optional[str] = None,
     stop_event=None,
+    cache_dir: Optional[str] = None,
 ) -> FleetReport:
     """Run a workload set across N processes and merge the results.
 
@@ -264,6 +304,11 @@ def run_fleet(
     all sharing ``options``) or pre-built :class:`FleetTask` items with
     per-task options (seed sweeps).  ``workers`` is clamped to the task
     count; ``workers=1`` runs in-process with identical semantics.
+
+    ``cache_dir`` attaches every worker's Session to one shared on-disk
+    verdict cache; the merged report gains ``cache_stats`` (per-worker
+    counters summed in worker order — deterministic regardless of
+    arrival order).  Records stay bit-identical with or without it.
 
     SIGTERM/SIGINT (or an externally provided ``stop_event``) drains:
     in-flight tasks finish, skipped ones become ``cancelled`` records,
@@ -283,9 +328,10 @@ def run_fleet(
 
     try:
         if workers == 1:
-            records = _run_serial(
+            records, cache_parts = _run_serial(
                 tasks, max_retries, backoff,
                 stop_event=stop_event, max_retry_wall=max_retry_wall,
+                cache_dir=cache_dir,
             )
         else:
             shards = shard(tasks, workers, shard_by)
@@ -299,14 +345,14 @@ def run_fleet(
                     target=worker_main,
                     args=(wid, worker_tasks, result_queue,
                           max_retries, backoff, stop_event,
-                          max_retry_wall),
+                          max_retry_wall, cache_dir),
                     daemon=True,
                 )
                 proc.start()
                 procs[wid] = proc
                 assigned[wid] = worker_tasks
             try:
-                records = _collect(
+                records, cache_parts = _collect(
                     procs, assigned, result_queue, stop_event
                 )
             finally:
@@ -327,4 +373,7 @@ def run_fleet(
         wall_seconds=time.perf_counter() - started,
         telemetry=merged_telemetry(records),
         partial=stop_event.is_set(),
+        cache_stats=(
+            merge_cache_stats(cache_parts) if cache_dir else None
+        ),
     )

@@ -111,6 +111,10 @@ class FleetReport:
     #: True when a shutdown signal drained the fleet before every task
     #: ran; the skipped tasks appear as ``cancelled`` error records.
     partial: bool = False
+    #: Merged verdict-cache counters across workers, when the fleet ran
+    #: with a shared cache (``cache_dir=``); None otherwise.  Optional
+    #: addition within wire schema v2 — absent keys read as no cache.
+    cache_stats: Optional[Dict[str, object]] = None
 
     @property
     def failures(self) -> List[FleetRunRecord]:
@@ -150,6 +154,7 @@ class FleetReport:
                 "retried": len(self.retried),
                 "cancelled": len(self.cancelled),
             },
+            "cache": self.cache_stats,
         }
 
     def to_json(self, indent: int = 2) -> str:

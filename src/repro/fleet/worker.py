@@ -31,6 +31,7 @@ import zlib
 from typing import Callable, List, Optional
 
 from repro.api import Session
+from repro.cache.store import VerdictCache
 from repro.core.report import RunReport
 from repro.fleet.refs import FleetTask
 
@@ -167,6 +168,7 @@ def worker_main(
     backoff: float = DEFAULT_BACKOFF,
     stop_event=None,
     max_retry_wall: float = DEFAULT_MAX_RETRY_WALL,
+    cache_dir: Optional[str] = None,
 ) -> None:
     """Process entrypoint: drain a shard, stream records, then a sentinel.
 
@@ -174,13 +176,21 @@ def worker_main(
     and merges incrementally); the final ``worker-done`` message carries
     the worker's warm-engine statistics for the fleet summary.
 
+    With ``cache_dir`` the worker's Session runs against the shared
+    on-disk verdict cache.  Sharing is merge-free by construction: keys
+    are content addresses, so two workers racing on the same key write
+    identical entries, and records stay bit-identical to uncached runs
+    whichever worker's write lands.
+
     ``stop_event`` is the coordinator's drain request (SIGTERM/SIGINT):
     when set, the worker finishes the task it is on, skips the rest of
     its shard, and sends its sentinel — the coordinator synthesizes
     ``cancelled`` records for the skipped tasks and marks the fleet
     report partial.
     """
-    session = Session()
+    session = Session(
+        cache=VerdictCache(disk_dir=cache_dir) if cache_dir else None
+    )
     for task in tasks:
         if stop_event is not None and stop_event.is_set():
             break
@@ -198,4 +208,7 @@ def worker_main(
         "worker": worker_id,
         "runs": session.runs,
         "engine": session.engine.stats(),
+        "cache": (
+            session.cache.snapshot() if session.cache is not None else None
+        ),
     })

@@ -32,6 +32,12 @@ line).
 Schema discipline mirrors the fleet wire format: every stream opens with
 an event carrying ``schema_version`` (:data:`SERVE_SCHEMA_VERSION`);
 bump it on any breaking layout change.
+
+v2 (verdict cache): submissions may carry ``options.cache`` and a
+``triage`` flag; ``accepted``/``report`` events carry ``cached: bool``
+and a ``triage`` event (non-terminal) streams the static profile when
+requested.  v1 submissions are still accepted — the new fields default
+off, and v1 clients ignore event keys they do not know.
 """
 
 from __future__ import annotations
@@ -43,7 +49,11 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.core.options import DEFAULT_MAX_TICKS, RunOptions
 
 #: Version of the serve wire format (submissions and events).
-SERVE_SCHEMA_VERSION = 1
+SERVE_SCHEMA_VERSION = 2
+
+#: Versions this daemon accepts: additions in v2 are optional, so v1
+#: submissions decode unchanged.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, SERVE_SCHEMA_VERSION})
 
 #: Terminal event kinds — after one of these the stream is complete.
 TERMINAL_KINDS = frozenset({"rejected", "report", "error"})
@@ -79,6 +89,7 @@ def options_to_wire(options: RunOptions) -> Dict[str, object]:
         "metrics": options.metrics,
         "max_ticks": options.max_ticks,
         "wall_timeout": options.wall_timeout,
+        "cache": options.cache,
     }
     if options.fault_profile is not None:
         wire["fault"] = {
@@ -100,7 +111,7 @@ def options_from_wire(data: Optional[Mapping[str, object]]) -> RunOptions:
     fault = data.pop("fault", None)
     allowed = {
         "block_cache", "taint_fastpath", "provenance", "metrics",
-        "max_ticks", "wall_timeout",
+        "max_ticks", "wall_timeout", "cache",
     }
     unknown = set(data) - allowed
     if unknown:
@@ -110,6 +121,7 @@ def options_from_wire(data: Optional[Mapping[str, object]]) -> RunOptions:
         taint_fastpath=bool(data.get("taint_fastpath", True)),
         provenance=bool(data.get("provenance", True)),
         metrics=bool(data.get("metrics", False)),
+        cache=bool(data.get("cache", True)),
         max_ticks=int(data.get("max_ticks", DEFAULT_MAX_TICKS)),
         wall_timeout=(
             float(data["wall_timeout"])
@@ -160,6 +172,9 @@ class Submission:
     tenant: str = "default"
     #: Free-form label echoed back in events (debugging, load tests).
     name: str = ""
+    #: Stream a static :class:`~repro.cache.triage.TriageProfile` event
+    #: (non-terminal) before the run/hit.  Wire schema v2.
+    triage: bool = False
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.workload is None):
@@ -189,6 +204,8 @@ class Submission:
                 wire["files"] = dict(self.files)
             if self.peers:
                 wire["peers"] = dict(self.peers)
+        if self.triage:
+            wire["triage"] = True
         return wire
 
     @classmethod
@@ -196,10 +213,11 @@ class Submission:
         if not isinstance(data, Mapping):
             raise ProtocolError("submission must be a JSON object")
         version = data.get("schema_version", SERVE_SCHEMA_VERSION)
-        if version != SERVE_SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise ProtocolError(
                 f"unsupported schema_version {version!r} "
-                f"(this daemon speaks {SERVE_SCHEMA_VERSION})"
+                f"(this daemon speaks "
+                f"{sorted(SUPPORTED_SCHEMA_VERSIONS)})"
             )
         workload = data.get("workload")
         if workload is not None:
@@ -225,6 +243,7 @@ class Submission:
             options=options_from_wire(data.get("options")),
             tenant=str(data.get("tenant", "default")),
             name=str(data.get("name", "")),
+            triage=bool(data.get("triage", False)),
         )
 
 
@@ -247,12 +266,25 @@ def decode_line(line: bytes) -> Dict[str, object]:
     return data
 
 
-def accepted_event(job: str, queue_depth: int) -> Dict[str, object]:
+def accepted_event(
+    job: str, queue_depth: int, cached: bool = False
+) -> Dict[str, object]:
     return {
         "kind": "accepted",
         "schema_version": SERVE_SCHEMA_VERSION,
         "job": job,
         "queue_depth": queue_depth,
+        "cached": cached,
+    }
+
+
+def triage_event(job: str, profile: Dict[str, object]) -> Dict[str, object]:
+    """Non-terminal: the static triage profile of the submitted image."""
+    return {
+        "kind": "triage",
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "job": job,
+        "profile": profile,
     }
 
 

@@ -38,6 +38,14 @@ import time
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
+from repro.cache.digest import submission_key
+from repro.cache.store import (
+    VerdictCache,
+    bypass_reason,
+    cacheable_report_dict,
+)
+from repro.cache.triage import triage_image
+from repro.core.engine import EngineCache
 from repro.harrier.config import HarrierConfig
 from repro.serve import admission as adm
 from repro.serve.admission import AdmissionController
@@ -49,6 +57,7 @@ from repro.serve.protocol import (
     decode_line,
     encode_event,
     rejected_event,
+    triage_event,
 )
 from repro.serve.supervisor import (
     DEFAULT_JOB_TIMEOUT,
@@ -69,21 +78,38 @@ _REJECT_STATUS = {
 
 
 class _PendingJob:
-    """One admitted submission waiting for (or on) a worker."""
+    """One submission being answered: queued for a worker, or a cache
+    hit whose events were synthesized without admission."""
 
-    __slots__ = ("job_id", "spec", "queue", "timeout")
+    __slots__ = (
+        "job_id", "spec", "queue", "timeout",
+        "admitted", "cached", "cache_key", "warnings",
+    )
 
     def __init__(
         self,
         job_id: str,
-        spec: Dict[str, object],
+        spec: Optional[Dict[str, object]],
         queue: "asyncio.Queue",
         timeout: Optional[float],
+        admitted: bool = True,
+        cached: bool = False,
+        cache_key: Optional[str] = None,
     ) -> None:
         self.job_id = job_id
         self.spec = spec
         self.queue = queue
         self.timeout = timeout
+        #: Holds an admission slot (False for cache hits, which never
+        #: consume queue depth or tick budget and must not release one).
+        self.admitted = admitted
+        self.cached = cached
+        #: Set on cacheable misses: where to store the fresh result.
+        self.cache_key = cache_key
+        #: Streamed warning wire dicts accumulated for the store — these
+        #: carry ``details`` the report-dict warnings do not, so a hit
+        #: can replay the exact event stream.
+        self.warnings: list = []
 
 
 class ServeDaemon:
@@ -104,6 +130,9 @@ class ServeDaemon:
         max_retries: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         mp_start_method: Optional[str] = None,
+        cache: bool = True,
+        cache_dir: Optional[str] = None,
+        cache_entries: int = 512,
     ) -> None:
         if unix_path is None and host is None:
             raise ValueError("need a unix socket path and/or an HTTP host")
@@ -111,6 +140,20 @@ class ServeDaemon:
         self.host = host
         self.port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Daemon-side verdict cache: hits are answered in ``_admit``,
+        #: before (and without) an admission slot.  Stores wire-form
+        #: reports plus the streamed warning events, keyed by submission
+        #: content (``repro.cache.digest.submission_key``).
+        self.cache = (
+            VerdictCache(
+                capacity=cache_entries,
+                disk_dir=cache_dir,
+                metrics=self.metrics,
+                namespace="serve",
+            ) if cache else None
+        )
+        #: Warm assemble memo for key computation and triage profiling.
+        self._engine = EngineCache()
         self.admission = AdmissionController(
             queue_limit=queue_limit,
             rate=rate,
@@ -240,6 +283,25 @@ class ServeDaemon:
                 reason=adm.REASON_INVALID,
             ).inc()
             return None, rejected_event(adm.REASON_INVALID, str(exc))
+        profile = (
+            self._triage_profile(submission) if submission.triage else None
+        )
+        cache_key = self._cache_key(submission)
+        if cache_key is not None:
+            hit = self.cache.lookup(cache_key)
+            if hit is not None:
+                # Answered before admission: a hit consumes no queue
+                # depth and no tick-cost budget.
+                job = _PendingJob(
+                    job_id=self.supervisor.next_job_id(),
+                    spec=None,
+                    queue=asyncio.Queue(),
+                    timeout=None,
+                    admitted=False,
+                    cached=True,
+                )
+                self._enqueue_hit(job, hit, profile)
+                return job, None
         reason = self.admission.try_admit(
             submission.tenant, submission.options.max_ticks
         )
@@ -254,10 +316,79 @@ class ServeDaemon:
                 if submission.options.wall_timeout is not None
                 else None
             ),
+            cache_key=cache_key,
         )
+        if profile is not None:
+            job.queue.put_nowait(triage_event(job.job_id, profile))
         self._pending.append(job)
         self._kick()
         return job, None
+
+    def _cache_key(self, submission: Submission) -> Optional[str]:
+        """The submission's cache key, or None (bypass counted)."""
+        if self.cache is None:
+            return None
+        reason = bypass_reason(submission.options)
+        if reason is not None:
+            self.cache.bypass(reason)
+            return None
+        try:
+            return submission_key(submission, engine=self._engine)
+        except Exception:
+            # Unresolvable workload / unassemblable source: let the
+            # worker produce the real protocol error.
+            return None
+
+    def _triage_profile(
+        self, submission: Submission
+    ) -> Optional[Dict[str, object]]:
+        """Static triage of the submitted image (never executes)."""
+        try:
+            if submission.workload is not None:
+                from repro.fleet.refs import WorkloadRef
+
+                table, name = submission.workload
+                image = WorkloadRef.from_registry(
+                    table, name
+                ).resolve().image(engine=self._engine)
+            else:
+                image = self._engine.image(
+                    submission.path, submission.source
+                )
+        except Exception:
+            return None
+        return triage_image(image).to_dict()
+
+    def _enqueue_hit(
+        self,
+        job: _PendingJob,
+        hit: Dict[str, object],
+        profile: Optional[Dict[str, object]],
+    ) -> None:
+        """Replay a cached result as the exact event stream a fresh run
+        produces: optional triage, each warning in order, then the
+        terminal report with ``cached: True`` and zeroed timing."""
+        if profile is not None:
+            job.queue.put_nowait(triage_event(job.job_id, profile))
+        for seq, warning in enumerate(hit.get("warnings") or ()):
+            job.queue.put_nowait({
+                "kind": "warning",
+                "job": job.job_id,
+                "seq": seq,
+                "warning": warning,
+            })
+        job.queue.put_nowait({
+            "kind": "report",
+            "report": hit["report"],
+            "ok": hit.get("ok"),
+            "cached": True,
+            "worker": None,
+            "job": job.job_id,
+            "timing": {
+                "queue_wait": 0.0, "exec": 0.0, "total": 0.0,
+                "attempts": 0,
+            },
+        })
 
     async def _stream_events(self, job: _PendingJob, write) -> None:
         """Forward bridged events to ``write`` until a terminal one.
@@ -270,16 +401,51 @@ class ServeDaemon:
         try:
             while True:
                 event = await job.queue.get()
+                kind = event.get("kind")
+                if kind == "warning":
+                    job.warnings.append(event.get("warning"))
+                elif kind == "retry":
+                    # The retried attempt's warnings are discarded with
+                    # it; only the final attempt may populate the cache.
+                    job.warnings.clear()
+                elif kind == "report" and not event.get("cached"):
+                    self._store_result(job, event)
                 if not broken:
                     try:
                         await write(encode_event(event))
                     except (ConnectionError, asyncio.CancelledError,
                             OSError):
                         broken = True
-                if event.get("kind") in TERMINAL_KINDS:
+                if kind in TERMINAL_KINDS:
                     return
         finally:
-            self.admission.release()
+            if job.admitted:
+                self.admission.release()
+
+    def _store_result(
+        self, job: _PendingJob, event: Dict[str, object]
+    ) -> None:
+        """Remember a fresh terminal report under the job's cache key."""
+        if self.cache is None or job.cache_key is None:
+            return
+        report = event.get("report")
+        if not isinstance(report, dict) or not cacheable_report_dict(
+            report
+        ):
+            return
+        self.cache.store(
+            job.cache_key,
+            {
+                "report": report,
+                "ok": event.get("ok"),
+                "warnings": list(job.warnings),
+            },
+            meta={
+                "program": report.get("program"),
+                "verdict": report.get("verdict"),
+                "warnings": len(report.get("warnings") or ()),
+            },
+        )
 
     # -- NDJSON over the unix socket ---------------------------------------
     async def _handle_ndjson(
@@ -313,7 +479,9 @@ class ServeDaemon:
                 await write(encode_event(rejection))
                 return
             await write(encode_event(
-                accepted_event(job.job_id, self.admission.depth)
+                accepted_event(
+                    job.job_id, self.admission.depth, cached=job.cached
+                )
             ))
             await self._stream_events(job, write)
         finally:
@@ -409,7 +577,9 @@ class ServeDaemon:
             await writer.drain()
 
         await write_chunk(encode_event(
-            accepted_event(job.job_id, self.admission.depth)
+            accepted_event(
+                job.job_id, self.admission.depth, cached=job.cached
+            )
         ))
         await self._stream_events(job, write_chunk)
         try:
@@ -484,12 +654,25 @@ class ServeDaemon:
             ),
             "worker_generations": self.supervisor.generations(),
             "provenance_enabled": self.provenance_enabled,
+            "cache": (
+                {
+                    "enabled": True,
+                    "hits": self.cache.stats.hits,
+                    "misses": self.cache.stats.misses,
+                    "hit_rate": round(self.cache.hit_rate, 4),
+                }
+                if self.cache is not None
+                else {"enabled": False}
+            ),
         }
 
     def _stats(self) -> Dict[str, object]:
         return {
             "health": self._healthz(),
             "supervisor": self.supervisor.stats(),
+            "cache": (
+                self.cache.snapshot() if self.cache is not None else None
+            ),
             "metrics": self.metrics.samples(),
         }
 

@@ -490,6 +490,7 @@ class Supervisor:
                 "kind": "report",
                 "report": msg["report"],
                 "ok": msg.get("ok"),
+                "cached": False,
                 "worker": wid,
             })
         elif kind == "error":

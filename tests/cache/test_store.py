@@ -1,0 +1,268 @@
+"""The two-tier verdict cache store: LRU, disk, policy, and metrics.
+
+Safety properties: a hit always returns a *fresh* object graph (mutating
+a hit cannot poison later hits), a corrupt or mis-keyed disk entry is a
+miss never an error, concurrent writers racing on a content-addressed
+key are harmless, and transient outcomes (watchdog, degraded) are never
+remembered.
+"""
+
+import multiprocessing
+import pickle
+from types import SimpleNamespace
+
+from repro.cache.store import (
+    BYPASS_ANALYZER,
+    BYPASS_DISABLED,
+    BYPASS_FAULTS,
+    BYPASS_OPAQUE_SETUP,
+    BYPASS_TELEMETRY,
+    DiskStore,
+    MemoryLRU,
+    VerdictCache,
+    bypass_reason,
+    cacheable_report,
+    cacheable_report_dict,
+    merge_cache_stats,
+)
+from repro.core.options import RunOptions
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _fake_report(reason="exit", degraded=False, verdict="benign"):
+    return SimpleNamespace(
+        result=SimpleNamespace(reason=reason),
+        degraded=degraded,
+        program="/bin/x",
+        verdict=SimpleNamespace(value=verdict),
+        warnings=[],
+    )
+
+
+class TestMemoryLRU:
+    def test_evicts_least_recently_used(self):
+        lru = MemoryLRU(capacity=2)
+        lru.put("a", b"1")
+        lru.put("b", b"2")
+        assert lru.get("a") == b"1"  # refresh a
+        lru.put("c", b"3")  # evicts b
+        assert lru.get("b") is None
+        assert lru.get("a") == b"1"
+        assert lru.get("c") == b"3"
+        assert lru.evictions == 1
+
+    def test_capacity_floor_is_one(self):
+        lru = MemoryLRU(capacity=0)
+        lru.put("a", b"1")
+        lru.put("b", b"2")
+        assert len(lru) == 1
+
+
+class TestDiskStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        payload = pickle.dumps({"key": "k1", "meta": {}, "value": 42})
+        DiskStore(str(tmp_path)).write("k1", payload)
+        assert DiskStore(str(tmp_path)).read("k1") == payload
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write("k1", pickle.dumps({"key": "k1", "meta": {},
+                                        "value": 1}))
+        path = store._path("k1")
+        with open(path, "wb") as fh:
+            fh.write(b"\x80garbage not pickle")
+        assert store.read("k1") is None
+        assert store.corrupt == 1
+
+    def test_renamed_entry_cannot_answer_for_another_key(self, tmp_path):
+        # The envelope's embedded key is checked on read.
+        store = DiskStore(str(tmp_path))
+        store.write("aaothera", pickle.dumps(
+            {"key": "aaothera", "meta": {}, "value": 1}
+        ))
+        import os
+        os.rename(store._path("aaothera"), store._path("aamangled"))
+        assert store.read("aamangled") is None
+        assert store.corrupt == 1
+
+    def test_entries_and_clear(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        for key in ("aa1", "ab2", "aa3"):
+            store.write(key, pickle.dumps(
+                {"key": key, "meta": {"m": key}, "value": key}
+            ))
+        listed = list(store.entries())
+        assert sorted(k for k, _, _ in listed) == ["aa1", "aa3", "ab2"]
+        assert all(meta["m"] == key for key, meta, _ in listed)
+        assert store.clear() == 3
+        assert list(store.entries()) == []
+
+
+class TestVerdictCache:
+    def test_hit_returns_a_fresh_object_graph(self):
+        cache = VerdictCache()
+        cache.store("k", {"nested": [1, 2]})
+        first = cache.lookup("k")
+        first["nested"].append(3)
+        assert cache.lookup("k") == {"nested": [1, 2]}
+
+    def test_disk_tier_survives_a_new_process_view(self, tmp_path):
+        a = VerdictCache(disk_dir=str(tmp_path))
+        a.store("k", "value")
+        b = VerdictCache(disk_dir=str(tmp_path))
+        assert b.lookup("k") == "value"
+        assert b.stats.disk_hits == 1
+        # Promoted to memory: the second lookup is a memory hit.
+        assert b.lookup("k") == "value"
+        assert b.stats.mem_hits == 1
+
+    def test_namespaces_do_not_collide(self, tmp_path):
+        session = VerdictCache(disk_dir=str(tmp_path), namespace="session")
+        serve = VerdictCache(disk_dir=str(tmp_path), namespace="serve")
+        session.store("k", "report-object")
+        assert serve.lookup("k") is None
+        serve.store("k", {"report": "wire-dict"})
+        assert session.lookup("k") == "report-object"
+        assert serve.lookup("k") == {"report": "wire-dict"}
+
+    def test_watchdog_and_degraded_reports_are_never_stored(self):
+        cache = VerdictCache()
+        assert not cache.store_report("k1", _fake_report(reason="watchdog"))
+        assert not cache.store_report("k2", _fake_report(degraded=True))
+        assert cache.store_report("k3", _fake_report())
+        assert cache.lookup("k1") is None
+        assert cache.lookup("k2") is None
+        assert cache.lookup("k3") is not None
+        assert cache.stats.store_skips == 2
+
+    def test_unpicklable_value_degrades_to_no_store(self):
+        cache = VerdictCache()
+        assert not cache.store("k", lambda: None)
+        assert cache.stats.unpicklable == 1
+        assert cache.lookup("k") is None
+
+    def test_snapshot_shape(self, tmp_path):
+        cache = VerdictCache(disk_dir=str(tmp_path))
+        cache.store("k", 1)
+        cache.lookup("k")
+        cache.lookup("absent")
+        cache.bypass(BYPASS_FAULTS)
+        snap = cache.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert snap["stores"] == 1
+        assert snap["bypass"] == {"faults": 1}
+        assert snap["disk_dir"] == str(tmp_path)
+
+    def test_metrics_families_pretouch_and_count(self):
+        registry = MetricsRegistry()
+        cache = VerdictCache(metrics=registry)
+        text = registry.render()
+        # Families visible before any traffic (scrape-friendly).
+        for family in ("cache_hits_total", "cache_misses_total",
+                       "cache_stores_total", "cache_bypass_total",
+                       "cache_entries", "cache_lookup_seconds"):
+            assert family in text
+        cache.store("k", 1)
+        cache.lookup("k")
+        cache.lookup("absent")
+        cache.bypass(BYPASS_DISABLED)
+        assert registry.counter("cache_hits_total", tier="memory").value == 1
+        assert registry.counter("cache_misses_total").value == 1
+        assert registry.counter("cache_stores_total").value == 1
+        assert registry.counter(
+            "cache_bypass_total", reason="disabled"
+        ).value == 1
+
+
+class TestBypassPolicy:
+    def test_disabled_wins_over_everything(self):
+        options = RunOptions(cache=False, metrics=True)
+        assert bypass_reason(options, telemetry=object(),
+                             fault_injector=object()) == BYPASS_DISABLED
+
+    def test_fault_injection_bypasses(self):
+        from repro.faultinject import TRANSPARENT_PROFILE
+
+        assert bypass_reason(RunOptions(),
+                             fault_injector=object()) == BYPASS_FAULTS
+        assert bypass_reason(
+            RunOptions(fault_profile=TRANSPARENT_PROFILE)
+        ) == BYPASS_FAULTS
+
+    def test_telemetry_bypasses(self):
+        assert bypass_reason(RunOptions(),
+                             telemetry=object()) == BYPASS_TELEMETRY
+        assert bypass_reason(RunOptions(metrics=True)) == BYPASS_TELEMETRY
+
+    def test_analyzer_and_opaque_setup_bypass(self):
+        assert bypass_reason(RunOptions(),
+                             analyzer=object()) == BYPASS_ANALYZER
+        assert bypass_reason(RunOptions(),
+                             opaque_setup=True) == BYPASS_OPAQUE_SETUP
+
+    def test_plain_run_is_cacheable(self):
+        assert bypass_reason(RunOptions()) is None
+
+    def test_wire_dict_policy_matches_object_policy(self):
+        assert cacheable_report(_fake_report())
+        assert cacheable_report_dict(
+            {"result": {"reason": "exit"}, "degraded": False}
+        )
+        assert not cacheable_report_dict(
+            {"result": {"reason": "watchdog"}, "degraded": False}
+        )
+        assert not cacheable_report_dict(
+            {"result": {"reason": "exit"}, "degraded": True}
+        )
+
+
+def _writer(root, key, n):
+    store = DiskStore(root)
+    payload = pickle.dumps({"key": key, "meta": {}, "value": "same"})
+    for _ in range(n):
+        store.write(key, payload)
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_on_one_key_are_harmless(self, tmp_path):
+        """Content-addressed writes race benignly: whichever lands, the
+        payload is identical and always readable."""
+        root = str(tmp_path)
+        procs = [
+            multiprocessing.Process(target=_writer, args=(root, "kk", 50))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        store = DiskStore(root)
+        payload = store.read("kk")
+        assert payload is not None
+        assert pickle.loads(payload)["value"] == "same"
+        assert store.corrupt == 0
+
+
+class TestMergeCacheStats:
+    def test_counters_add_and_rate_recomputes(self):
+        merged = merge_cache_stats([
+            {"hits": 3, "misses": 1, "stores": 1, "bypass": {"faults": 2}},
+            None,  # a worker without a cache contributes nothing
+            {"hits": 1, "misses": 3, "stores": 3,
+             "bypass": {"faults": 1, "disabled": 1}},
+        ])
+        assert merged["hits"] == 4 and merged["misses"] == 4
+        assert merged["hit_rate"] == 0.5
+        assert merged["stores"] == 4
+        assert merged["bypass"] == {"disabled": 1, "faults": 3}
+        assert merged["workers"] == 2
+
+    def test_order_independent(self):
+        parts = [
+            {"hits": 1, "misses": 0, "bypass": {"a": 1}},
+            {"hits": 0, "misses": 2, "bypass": {"b": 1}},
+        ]
+        assert merge_cache_stats(parts) == \
+            merge_cache_stats(list(reversed(parts)))

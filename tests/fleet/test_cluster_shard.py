@@ -1,0 +1,69 @@
+"""Cluster sharding: triage-simhash ordering feeding contiguous chunks.
+
+The ``cluster`` strategy orders tasks so near-duplicate workloads land
+on the same worker (shared warm block cache and verdict-cache locality),
+while keeping the fleet invariants: every task assigned exactly once,
+deterministic assignment, and merged reports bit-identical to any other
+strategy.
+"""
+
+import json
+
+from repro.core.options import RunOptions
+from repro.fleet import (
+    FleetTask,
+    make_tasks,
+    run_fleet,
+    shard,
+    workload_refs,
+)
+from repro.fleet.engine import SHARD_STRATEGIES, cluster_tasks
+from repro.fleet.refs import WorkloadRef
+
+
+def _tasks(table="4"):
+    return make_tasks(workload_refs([table]))
+
+
+class TestClusterStrategy:
+    def test_registered(self):
+        assert "cluster" in SHARD_STRATEGIES
+
+    def test_every_task_assigned_exactly_once(self):
+        tasks = _tasks("8")
+        shards = shard(tasks, 3, "cluster")
+        flat = sorted(t.index for s in shards for t in s)
+        assert flat == [t.index for t in tasks]
+
+    def test_deterministic_order(self):
+        tasks = _tasks("4")
+        assert [t.ref.name for t in cluster_tasks(tasks)] == \
+            [t.ref.name for t in cluster_tasks(tasks)]
+        a = shard(tasks, 2, "cluster")
+        b = shard(tasks, 2, "cluster")
+        assert [[t.index for t in s] for s in a] == \
+            [[t.index for t in s] for s in b]
+
+    def test_unresolvable_ref_clusters_at_zero_not_crash(self):
+        broken = FleetTask(
+            index=0,
+            ref=WorkloadRef(module="repro.no_such_module",
+                            factory="nope", name="ghost"),
+            options=RunOptions(),
+        )
+        ordered = cluster_tasks([broken] + _tasks("4"))
+        assert len(ordered) == 1 + len(_tasks("4"))
+
+    def test_cluster_fleet_report_matches_interleave(self):
+        refs = workload_refs(["4"])
+        clustered = run_fleet(refs, workers=2, shard_by="cluster")
+        interleaved = run_fleet(refs, workers=2, shard_by="interleave")
+
+        def reports(fleet):
+            return {
+                r.name: json.dumps(r.report, sort_keys=True, default=str)
+                for r in fleet.runs
+            }
+
+        assert reports(clustered) == reports(interleaved)
+        assert not clustered.failures

@@ -312,9 +312,10 @@ class TestWorkerDeath:
                 raise queue_mod.Empty
 
         tasks = make_tasks([ELM, ELM])
-        records = _collect(
+        records, cache_parts = _collect(
             {0: DeadProc()}, {0: tasks}, EmptyQueue()
         )
+        assert cache_parts == []
         assert [r.index for r in records] == [0, 1]
         for record in records:
             assert record.failed

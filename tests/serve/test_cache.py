@@ -1,0 +1,282 @@
+"""The daemon's verdict cache: hits before admission, bit-identical.
+
+Serve-specific cache promises: a repeat submission is answered from the
+daemon-level cache without queueing or consuming tick budget, the reply
+(report *and* streamed warnings) is bit-identical to the fresh stream,
+``accepted``/``report`` events carry ``cached``, v1 clients still work,
+and fault/chaos submissions always execute.
+"""
+
+import asyncio
+import contextlib
+import json
+
+from repro.serve import ServeDaemon, Submission, submit_async
+from repro.serve.admission import REASON_TICK_BUDGET
+from repro.serve.protocol import (
+    SERVE_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    encode_event,
+    options_from_wire,
+    options_to_wire,
+)
+from repro.core.options import RunOptions
+
+TROJAN = ("4", "Remote execve")
+
+_SOURCE = """
+.data
+msg: .asciz "/etc/passwd"
+.text
+main:
+    mov eax, 5
+    mov ebx, msg
+    int 0x80
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+"""
+
+
+def run(coro, timeout=120.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+@contextlib.asynccontextmanager
+async def daemon(tmp_path, **kwargs):
+    kwargs.setdefault("unix_path", str(tmp_path / "serve.sock"))
+    kwargs.setdefault("workers", 1)
+    d = ServeDaemon(**kwargs)
+    await d.start()
+    await d.wait_ready()
+    try:
+        yield d
+    finally:
+        await d.shutdown(drain=True, timeout=60.0)
+
+
+def kinds(events):
+    return [e.get("kind") for e in events]
+
+
+def dumps(value):
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+class TestServeCacheHits:
+    def test_repeat_submission_is_cached_and_bit_identical(self, tmp_path):
+        async def main():
+            async with daemon(tmp_path) as d:
+                sub = Submission(workload=TROJAN)
+                fresh = await submit_async(d.unix_path, sub)
+                hit = await submit_async(d.unix_path, sub)
+                return fresh, hit, d._healthz(), d._stats()
+
+        fresh, hit, healthz, stats = run(main())
+        assert kinds(fresh) == kinds(hit)
+        assert fresh[0]["cached"] is False
+        assert hit[0]["cached"] is True
+        assert fresh[-1]["cached"] is False
+        assert hit[-1]["cached"] is True
+        assert dumps(fresh[-1]["report"]) == dumps(hit[-1]["report"])
+        fresh_warnings = [e["warning"] for e in fresh
+                          if e["kind"] == "warning"]
+        hit_warnings = [e["warning"] for e in hit
+                        if e["kind"] == "warning"]
+        assert fresh_warnings and dumps(fresh_warnings) == \
+            dumps(hit_warnings)
+        assert healthz["cache"] == {
+            "enabled": True, "hits": 1, "misses": 1, "hit_rate": 0.5,
+        }
+        assert stats["cache"]["namespace"] == "serve"
+        assert stats["cache"]["hits"] == 1
+
+    def test_inline_source_submissions_cache_too(self, tmp_path):
+        async def main():
+            async with daemon(tmp_path) as d:
+                sub = Submission(source=_SOURCE, path="/bin/t",
+                                 files={"/etc/passwd": "root:x"},
+                                 name="inline")
+                fresh = await submit_async(d.unix_path, sub)
+                hit = await submit_async(d.unix_path, sub)
+                # One changed seeded-file byte must execute fresh.
+                variant = await submit_async(d.unix_path, Submission(
+                    source=_SOURCE, path="/bin/t",
+                    files={"/etc/passwd": "root:y"}, name="inline",
+                ))
+                return fresh, hit, variant
+
+        fresh, hit, variant = run(main())
+        assert hit[-1]["cached"] is True
+        assert dumps(fresh[-1]["report"]) == dumps(hit[-1]["report"])
+        assert variant[-1]["cached"] is False
+
+    def test_hits_do_not_consume_tick_budget(self, tmp_path):
+        """A cache hit answers before admission: no queue slot, no tick
+        spend — repeat traffic is free even under a strict budget."""
+        budget = RunOptions().max_ticks  # exactly one fresh submission
+
+        async def main():
+            async with daemon(tmp_path, tick_rate=0.001,
+                              tick_burst=budget) as d:
+                sub = Submission(workload=TROJAN)
+                fresh = await submit_async(d.unix_path, sub)
+                hits = []
+                for _ in range(3):
+                    hits.append(await submit_async(d.unix_path, sub))
+                # A *different* submission needs real budget: rejected.
+                other = await submit_async(d.unix_path, Submission(
+                    workload=("4", "Hardcode")
+                ))
+                return fresh, hits, other
+
+        fresh, hits, other = run(main())
+        assert fresh[-1]["kind"] == "report"
+        for hit in hits:
+            assert hit[-1]["kind"] == "report"
+            assert hit[-1]["cached"] is True
+        assert other[-1]["kind"] == "rejected"
+        assert other[-1]["reason"] == REASON_TICK_BUDGET
+
+
+class TestCacheMetricsExposition:
+    def test_cache_families_land_in_openmetrics(self, tmp_path):
+        from repro.telemetry.metrics import render_openmetrics
+
+        async def main():
+            async with daemon(tmp_path) as d:
+                sub = Submission(workload=TROJAN)
+                await submit_async(d.unix_path, sub)
+                await submit_async(d.unix_path, sub)
+                return render_openmetrics(d.metrics.samples())
+
+        text = run(main())
+        assert "# TYPE cache_hits counter" in text
+        assert 'cache_hits_total{tier="memory"} 1' in text
+        assert "cache_misses_total 1" in text
+        assert "cache_stores_total 1" in text
+        assert "cache_lookup_seconds" in text
+        assert 'cache_bypass_total{reason="faults"} 0' in text
+        assert "cache_entries 1" in text
+
+
+class TestServeCacheBypasses:
+    def test_no_cache_option_executes_fresh_every_time(self, tmp_path):
+        async def main():
+            async with daemon(tmp_path) as d:
+                sub = Submission(workload=TROJAN,
+                                 options=RunOptions(cache=False))
+                first = await submit_async(d.unix_path, sub)
+                second = await submit_async(d.unix_path, sub)
+                return first, second, d.cache.snapshot()
+
+        first, second, snap = run(main())
+        assert first[-1]["cached"] is False
+        assert second[-1]["cached"] is False
+        assert snap["hits"] == 0
+        assert snap["bypass"].get("disabled") == 2
+
+    def test_fault_profile_submissions_always_execute(self, tmp_path):
+        from repro.faultinject import TRANSPARENT_PROFILE
+
+        async def main():
+            async with daemon(tmp_path) as d:
+                sub = Submission(
+                    workload=TROJAN,
+                    options=RunOptions(
+                        fault_profile=TRANSPARENT_PROFILE, fault_seed=1,
+                    ),
+                )
+                first = await submit_async(d.unix_path, sub)
+                second = await submit_async(d.unix_path, sub)
+                return first, second, d.cache.snapshot()
+
+        first, second, snap = run(main())
+        assert first[-1]["kind"] == "report"
+        assert second[-1]["cached"] is False
+        assert snap["hits"] == 0
+        assert snap["bypass"].get("faults") == 2
+
+    def test_daemon_without_cache_still_serves(self, tmp_path):
+        async def main():
+            async with daemon(tmp_path, cache=False) as d:
+                sub = Submission(workload=TROJAN)
+                events = await submit_async(d.unix_path, sub)
+                return events, d._healthz()
+
+        events, healthz = run(main())
+        assert events[-1]["kind"] == "report"
+        assert events[-1]["cached"] is False
+        assert healthz["cache"] == {"enabled": False}
+
+
+class TestTriageEvent:
+    def test_triage_streams_on_fresh_and_cached(self, tmp_path):
+        async def main():
+            async with daemon(tmp_path) as d:
+                sub = Submission(workload=TROJAN, triage=True)
+                fresh = await submit_async(d.unix_path, sub)
+                hit = await submit_async(d.unix_path, sub)
+                return fresh, hit
+
+        fresh, hit = run(main())
+        for events in (fresh, hit):
+            ks = kinds(events)
+            assert "triage" in ks
+            assert ks.index("triage") < ks.index("report")
+        profile = next(e for e in fresh if e["kind"] == "triage")["profile"]
+        assert profile["text_size"] > 0
+        assert len(profile["simhash"]) == 16
+        hit_profile = next(
+            e for e in hit if e["kind"] == "triage"
+        )["profile"]
+        assert dumps(profile) == dumps(hit_profile)
+
+
+class TestWireCompat:
+    """Satellite 2: the v1→v2 schema bump stays backward compatible."""
+
+    def test_v1_submission_over_the_wire_is_accepted(self, tmp_path):
+        async def main():
+            async with daemon(tmp_path) as d:
+                v1 = {
+                    "schema_version": 1,
+                    "tenant": "legacy",
+                    "name": "old-client",
+                    "workload": {"table": TROJAN[0], "name": TROJAN[1]},
+                    "options": {"max_ticks": 5_000_000},
+                }
+                reader, writer = await asyncio.open_unix_connection(
+                    d.unix_path
+                )
+                writer.write(encode_event(v1))
+                await writer.drain()
+                events = []
+                while True:
+                    line = await reader.readline()
+                    event = json.loads(line)
+                    events.append(event)
+                    if event["kind"] in ("report", "rejected", "error"):
+                        break
+                writer.close()
+                return events
+
+        events = run(main())
+        assert events[0]["kind"] == "accepted"
+        assert events[0]["schema_version"] == SERVE_SCHEMA_VERSION
+        assert events[-1]["kind"] == "report"
+
+    def test_supported_versions(self):
+        assert SUPPORTED_SCHEMA_VERSIONS == {1, 2}
+        assert SERVE_SCHEMA_VERSION == 2
+
+    def test_options_wire_round_trip_carries_cache(self):
+        options = RunOptions(cache=False, max_ticks=123)
+        wire = options_to_wire(options)
+        assert wire["cache"] is False
+        back = options_from_wire(wire)
+        assert back.cache is False and back.max_ticks == 123
+
+    def test_v1_options_dict_defaults_cache_on(self):
+        back = options_from_wire({"max_ticks": 99})
+        assert back.cache is True

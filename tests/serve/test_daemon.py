@@ -172,16 +172,26 @@ class TestBackpressure:
         async def main():
             async with daemon(tmp_path, rate=0.1, burst=1.0) as d:
                 first = await submit_async(d.unix_path, BENIGN)
-                second = await submit_async(d.unix_path, BENIGN)
+                # an identical resubmission hits the verdict cache:
+                # answered before admission, no rate token spent
+                hit = await submit_async(d.unix_path, BENIGN)
+                # novel work from the drained tenant is turned away
+                novel = Submission(
+                    source=BENIGN.source, argv=["novel"], name="benign"
+                )
+                second = await submit_async(d.unix_path, novel)
                 # a different tenant still gets in
                 other = await submit_async(
                     d.unix_path,
-                    Submission(source=BENIGN.source, tenant="other"),
+                    Submission(source=BENIGN.source, argv=["novel"],
+                               tenant="other"),
                 )
-                return first, second, other
+                return first, hit, second, other
 
-        first, second, other = run(main())
+        first, hit, second, other = run(main())
         assert kinds(first)[-1] == "report"
+        assert hit[-1]["kind"] == "report"
+        assert hit[-1]["cached"] is True
         assert second[0]["reason"] == REASON_RATE_LIMITED
         assert kinds(other)[-1] == "report"
 
