@@ -2,7 +2,7 @@
 
 A cache key must mean the same thing in every process that computes it:
 a fleet worker populating a shared on-disk store, the serve daemon
-answering hits before admission, and a test re-deriving the key under a
+answering hits without queueing, and a test re-deriving the key under a
 different ``PYTHONHASHSEED`` all have to agree bit for bit.  Python's
 ``hash()`` is salted per process and dict iteration order is an
 implementation detail, so neither may appear anywhere near a key.
@@ -58,11 +58,32 @@ class DigestError(TypeError):
     """A value with no canonical byte encoding (e.g. a closure)."""
 
 
-#: ``id(image.text)`` -> ``(text, name, digest)`` — see :func:`image_digest`.
-_IMAGE_DIGEST_MEMO: "OrderedDict[int, Tuple[tuple, str, str]]" = (
+#: ``id(image.text)`` -> ``(text, name, guard, digest)`` — see
+#: :func:`image_digest`.
+_IMAGE_DIGEST_MEMO: "OrderedDict[int, Tuple[tuple, str, tuple, str]]" = (
     OrderedDict()
 )
 _IMAGE_MEMO_CAPACITY = 256
+
+
+def _mutable_guard(image: Image) -> tuple:
+    """Cheap fingerprint of an Image's *mutable* containers.
+
+    ``Image`` is frozen, but ``data`` and ``symbols`` are plain dicts a
+    caller could mutate between runs; a digest memoized before such a
+    mutation must not answer after it.  This guard is O(cells) integer
+    arithmetic — far cheaper than re-running the canonical
+    serialization — and moves on any added/removed/re-valued cell or
+    symbol.  (A pair of exactly compensating mutations can slip past;
+    the memo is a latency optimization for engine-produced images,
+    which are fresh copies per run — see :func:`image_digest`.)
+    """
+    data = image.data
+    symbols = image.symbols
+    return (
+        len(data), sum(data.keys()), sum(data.values()),
+        len(symbols), sum(symbols.values()),
+    )
 
 
 def _chunk(tag: bytes, payload: bytes, out: list) -> None:
@@ -156,16 +177,22 @@ def image_digest(image: Image) -> str:
     keyed on and checks ``is`` before answering, so a recycled ``id``
     can never alias.  (The memo digests the image as assembled; loader
     state is applied to per-machine copies after keys are computed.)
+
+    Both memo levels are validated against :func:`_mutable_guard`
+    before answering: ``data``/``symbols`` are mutable dicts, and a
+    caller-held Image mutated between runs must re-digest rather than
+    reuse the stale key (and with it, someone else's cached report).
     """
+    guard = _mutable_guard(image)
     cached = image.__dict__.get("_verdict_digest")
-    if cached is not None:
-        return cached
+    if cached is not None and cached[0] == guard:
+        return cached[1]
     ident = id(image.text)
     entry = _IMAGE_DIGEST_MEMO.get(ident)
     if entry is not None and entry[0] is image.text and (
         entry[1] == image.name
-    ):
-        return entry[2]
+    ) and entry[2] == guard:
+        return entry[3]
     digest = content_digest(
         "image",
         image.name,
@@ -178,8 +205,8 @@ def image_digest(image: Image) -> str:
         image.bb_leaders,
         image.externs,
     )
-    object.__setattr__(image, "_verdict_digest", digest)
-    _IMAGE_DIGEST_MEMO[ident] = (image.text, image.name, digest)
+    object.__setattr__(image, "_verdict_digest", (guard, digest))
+    _IMAGE_DIGEST_MEMO[ident] = (image.text, image.name, guard, digest)
     while len(_IMAGE_DIGEST_MEMO) > _IMAGE_MEMO_CAPACITY:
         _IMAGE_DIGEST_MEMO.popitem(last=False)
     return digest

@@ -1,15 +1,31 @@
 """The verdict cache store: in-memory LRU tier + optional disk tier.
 
-Values are pickled once at store time and unpickled on every hit, so a
-hit always hands back a *fresh* object graph — callers may mutate a
+Values are serialized once at store time and deserialized on every hit,
+so a hit always hands back a *fresh* object graph — callers may mutate a
 cached :class:`RunReport` without poisoning later hits, and the bytes in
 the memory tier are exactly the bytes on disk.
+
+Two codecs exist, chosen per cache:
+
+* ``"json"`` — for caches whose values are plain wire dicts (the serve
+  daemon).  JSON is data-only: reading an entry can never execute code,
+  so a writable shared ``cache_dir`` is at worst a cache-poisoning
+  surface, never remote code execution.  Prefer it whenever the values
+  allow.
+* ``"pickle"`` — for caches that hold real object graphs
+  (:class:`RunReport` in the Session/fleet ``"session"`` namespace),
+  which have no lossless data-only encoding today.  ``pickle.loads`` on
+  attacker-controlled bytes is arbitrary code execution, so a pickle
+  ``cache_dir`` **must be private to the trusted processes sharing
+  it** — the store creates fresh roots mode ``0o700`` to that end, and
+  never relaxes the mode of a pre-existing directory.
 
 The disk tier is safe for concurrent fleet workers without locking:
 entries are content-addressed (identical keys always carry identical
 payloads, so a racing double-write is harmless), writes go through a
 unique temp file + :func:`os.replace` (atomic on POSIX), and a corrupt
-or truncated entry reads as a miss, never as an error.
+or truncated entry — including one in the other codec — reads as a
+miss, never as an error.
 
 Cache *policy* lives here too: :func:`bypass_reason` names every
 situation in which a run must not be answered (or populated) from
@@ -22,6 +38,7 @@ degraded or watchdog-killed reports so a retry always re-executes.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import time
@@ -46,6 +63,28 @@ _BYPASS_REASONS = (
 
 #: pickle protocol 4 is stable across the supported interpreters.
 _PICKLE_PROTOCOL = 4
+
+
+def _pickle_dumps(envelope: Dict[str, Any]) -> bytes:
+    return pickle.dumps(envelope, protocol=_PICKLE_PROTOCOL)
+
+
+def _json_dumps(envelope: Dict[str, Any]) -> bytes:
+    # No sort_keys: insertion order survives the round trip, so a hit
+    # replays byte-for-byte the wire dict that was stored.
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+def _json_loads(payload: bytes) -> Dict[str, Any]:
+    return json.loads(payload.decode("utf-8"))
+
+
+#: codec name -> (dumps, loads) over the ``{"key","meta","value"}``
+#: envelope.  See the module docstring for when each is appropriate.
+CODECS = {
+    "pickle": (_pickle_dumps, pickle.loads),
+    "json": (_json_dumps, _json_loads),
+}
 
 
 def bypass_reason(
@@ -121,18 +160,32 @@ class DiskStore:
     """Content-addressed entries on disk, shareable between processes.
 
     Layout: ``<root>/<key[:2]>/<key>.rvc`` — the two-hex-char shard keeps
-    directories small on big sweeps.  Each entry is a pickled envelope
-    ``{"key", "meta", "value"}``; the embedded key is checked on read so
-    a renamed or mangled file can never answer for the wrong digest.
+    directories small on big sweeps.  Each entry is a codec-encoded
+    envelope ``{"key", "meta", "value"}``; the embedded key is checked on
+    read so a renamed or mangled file can never answer for the wrong
+    digest, and a file in the wrong codec parses as corrupt (a miss).
+    A ``"json"``-codec store never unpickles anything: bytes planted in
+    its directory cannot execute code on read.
+
+    A root this store creates is made mode ``0o700``; a pre-existing
+    root's permissions are the operator's business and left alone.
     """
 
     SUFFIX = ".rvc"
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, codec: str = "pickle") -> None:
         self.root = root
+        self.codec = codec
+        self._dumps, self._loads = CODECS[codec]
         self.corrupt = 0
         self._seq = 0
+        existed = os.path.isdir(root)
         os.makedirs(root, exist_ok=True)
+        if not existed:
+            try:
+                os.chmod(root, 0o700)
+            except OSError:
+                pass
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + self.SUFFIX)
@@ -144,7 +197,7 @@ class DiskStore:
         except OSError:
             return None
         try:
-            envelope = pickle.loads(payload)
+            envelope = self._loads(payload)
             if envelope.get("key") != key:
                 raise ValueError("key mismatch")
         except Exception:
@@ -182,7 +235,7 @@ class DiskStore:
                 payload = self.read(key)
                 if payload is None:
                     continue
-                envelope = pickle.loads(payload)
+                envelope = self._loads(payload)
                 yield key, envelope.get("meta") or {}, len(payload)
 
     def clear(self) -> int:
@@ -223,8 +276,11 @@ class VerdictCache:
 
     ``namespace`` keeps differently-shaped values from colliding in a
     shared store: the Session caches pickled :class:`RunReport` objects
-    (``"session"``) while the serve daemon caches wire dicts
-    (``"serve"``) — both may point at the same ``disk_dir``.
+    (``"session"``) while the serve daemon caches JSON wire dicts
+    (``"serve"``) — both may point at the same ``disk_dir``.  ``codec``
+    picks the envelope encoding (module docstring): ``"json"`` wherever
+    the values are plain data, ``"pickle"`` only for caches private to
+    trusted processes.
 
     With a ``metrics`` registry attached, every operation lands in the
     ``cache_*`` OpenMetrics families (pre-touched to zero at
@@ -237,10 +293,13 @@ class VerdictCache:
         disk_dir: Optional[str] = None,
         metrics=None,
         namespace: str = "session",
+        codec: str = "pickle",
     ) -> None:
         self.namespace = namespace
+        self.codec = codec
+        self._dumps, self._loads = CODECS[codec]
         self.memory = MemoryLRU(capacity)
-        self.disk = DiskStore(disk_dir) if disk_dir else None
+        self.disk = DiskStore(disk_dir, codec=codec) if disk_dir else None
         self.stats = CacheStats()
         self.metrics = metrics
         if metrics is not None:
@@ -288,7 +347,7 @@ class VerdictCache:
             self.stats.disk_hits += 1
         if self.metrics is not None:
             self.metrics.counter("cache_hits_total", tier=tier).inc()
-        return pickle.loads(payload)["value"]
+        return self._loads(payload)["value"]
 
     def store(
         self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None
@@ -300,8 +359,10 @@ class VerdictCache:
             "value": value,
         }
         try:
-            payload = pickle.dumps(envelope, protocol=_PICKLE_PROTOCOL)
+            payload = self._dumps(envelope)
         except Exception:
+            # Unencodable in this codec (a closure under pickle, a
+            # non-JSON-able object under json): degrade to no store.
             self.stats.unpicklable += 1
             return False
         self.memory.put(full, payload)
@@ -339,6 +400,7 @@ class VerdictCache:
     def snapshot(self) -> Dict[str, Any]:
         snap = {
             "namespace": self.namespace,
+            "codec": self.codec,
             "hits": self.stats.hits,
             "misses": self.stats.misses,
             "hit_rate": round(self.stats.hit_rate, 4),

@@ -736,14 +736,21 @@ def cmd_submit(args: argparse.Namespace) -> int:
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear an on-disk verdict cache (``repro cache``)."""
     root = pathlib.Path(args.dir)
-    store = DiskStore(str(root))
     if args.action == "clear":
-        removed = store.clear()
+        removed = DiskStore(str(root)).clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
               f"from {root}")
         return 0
 
-    entries = sorted(store.entries(), key=lambda e: e[0])
+    # A shared dir can hold session (pickle) and serve (json) entries;
+    # each codec's store yields only the entries it can parse.
+    merged: dict = {}
+    for codec in ("pickle", "json"):
+        for key, meta, size in DiskStore(str(root), codec=codec).entries():
+            merged.setdefault(key, (meta, size))
+    entries = sorted(
+        (key, meta, size) for key, (meta, size) in merged.items()
+    )
     if args.action == "stats":
         total = sum(size for _, _, size in entries)
         namespaces: dict = {}

@@ -31,8 +31,9 @@ at a time (fleet workers each build their own).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.harrier.blockcache import BlockCacheStore
 from repro.isa.assembler import assemble
@@ -43,14 +44,22 @@ from repro.taint.tags import TagSetInterner
 class EngineCache:
     """Warm, observably-transparent engine state shared across runs."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_images: Optional[int] = None) -> None:
         #: Layout-keyed store of translated-block caches (see
         #: :class:`BlockCacheStore` for the key discipline).
         self.block_caches = BlockCacheStore()
         #: Shared hash-consing table + union memo for taint tag sets.
         self.interner = TagSetInterner()
-        #: (path, source) -> assembled template image.
-        self._images: Dict[Tuple[str, str], Image] = {}
+        #: (path, source) -> assembled template image.  ``max_images``
+        #: bounds the memo LRU-style; front-ends that assemble
+        #: *untrusted, ever-varying* sources without executing them (the
+        #: serve daemon's key/triage path) must set it, or a client can
+        #: grow daemon memory without bound by varying one byte per
+        #: submission.  Execution sessions keep the default ``None``:
+        #: eviction would re-assemble and hand out a new text tuple,
+        #: orphaning that layout's entry in ``block_caches``.
+        self.max_images = max_images
+        self._images: "OrderedDict[Tuple[str, str], Image]" = OrderedDict()
 
     def image(self, path: str, source: str) -> Image:
         """Assemble ``source`` as ``path``, memoized per session.
@@ -65,6 +74,10 @@ class EngineCache:
         template = self._images.get(key)
         if template is None:
             template = self._images[key] = assemble(path, source)
+        if self.max_images is not None:
+            self._images.move_to_end(key)
+            while len(self._images) > self.max_images:
+                self._images.popitem(last=False)
         return replace(
             template,
             data=dict(template.data),

@@ -85,6 +85,13 @@ class AdmissionController:
     or a rejection further down the line.  Tenant limiters are created
     on first sight of a tenant name; ``rate=None`` / ``tick_rate=None``
     disable that meter entirely (the bench harness runs wide open).
+
+    Admission is two-phase so the daemon can order it around the verdict
+    cache: :meth:`precheck` (draining + submission rate) runs before any
+    per-submission compute and meters *all* traffic, cache hits
+    included; :meth:`claim_slot` (queue depth + tick budget) runs only
+    for submissions that will really execute.  :meth:`try_admit` is the
+    one-shot composition.
     """
 
     def __init__(
@@ -145,9 +152,31 @@ class AdmissionController:
         return state
 
     # -- decisions ---------------------------------------------------------
-    def try_admit(self, tenant: str, max_ticks: int) -> Optional[str]:
-        """Claim a queue slot for ``tenant``; return ``None`` on success
-        or the rejection reason string."""
+    def precheck(self, tenant: str) -> Optional[str]:
+        """Phase-1 admission: draining state + the per-tenant submission
+        rate bucket.  Return ``None`` to proceed or a rejection reason.
+
+        This is deliberately cheap (no queue slot, no tick spend) so the
+        daemon can run it *before* any per-submission work — assembling
+        untrusted sources, digesting cache keys, triage.  It charges a
+        rate token for every submission, cache hits included: a client
+        replaying a cached submission is still metered, so replay storms
+        stay bounded even though hits never claim a queue slot.
+        """
+        if self.draining:
+            self._count(False, tenant, REASON_SHUTTING_DOWN)
+            return REASON_SHUTTING_DOWN
+        if self.rate is not None and not self._tenant(
+            tenant
+        ).submissions.try_take():
+            self._count(False, tenant, REASON_RATE_LIMITED)
+            return REASON_RATE_LIMITED
+        return None
+
+    def claim_slot(self, tenant: str, max_ticks: int) -> Optional[str]:
+        """Phase-2 admission: claim a queue slot and charge the tick
+        budget.  Only submissions that will really execute (cache
+        misses) reach this; :meth:`release` returns the slot."""
         if self.draining:
             self._count(False, tenant, REASON_SHUTTING_DOWN)
             return REASON_SHUTTING_DOWN
@@ -155,9 +184,6 @@ class AdmissionController:
             self._count(False, tenant, REASON_QUEUE_FULL)
             return REASON_QUEUE_FULL
         state = self._tenant(tenant)
-        if self.rate is not None and not state.submissions.try_take():
-            self._count(False, tenant, REASON_RATE_LIMITED)
-            return REASON_RATE_LIMITED
         if state.ticks is not None and not state.ticks.try_take(
             float(max_ticks)
         ):
@@ -166,6 +192,15 @@ class AdmissionController:
         self.depth += 1
         self._count(True, tenant)
         return None
+
+    def try_admit(self, tenant: str, max_ticks: int) -> Optional[str]:
+        """Claim a queue slot for ``tenant``; return ``None`` on success
+        or the rejection reason string.  Equivalent to :meth:`precheck`
+        followed by :meth:`claim_slot`."""
+        reason = self.precheck(tenant)
+        if reason is not None:
+            return reason
+        return self.claim_slot(tenant, max_ticks)
 
     def release(self) -> None:
         """Return one claimed slot (the submission was answered)."""

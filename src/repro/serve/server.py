@@ -7,10 +7,23 @@ more than ``POST /submit`` with a chunked NDJSON body plus three GET
 endpoints — ``/healthz``, ``/stats``, and an OpenMetrics ``/metrics``
 exposition).  Each accepted submission flows::
 
-    client -> admission (bounded queue, tenant buckets)
+    client -> admission precheck (draining + tenant rate, hits charged)
+           -> cache key + triage (digest thread, off the event loop)
+           -> verdict-cache hit?  -> replayed event stream (no slot)
+           -> miss: admission slot (bounded queue, tick budget)
            -> pending deque -> supervisor dispatch (idle worker)
            -> worker process (warm Session, TapAnalyzer streaming)
            -> events bridged back thread->loop -> client stream
+
+The ordering is deliberate: the per-tenant rate bucket is charged
+*before* the daemon does any per-submission work — assembling an
+untrusted inline source, digesting keys, triage — so a rate-limited
+client cannot burn daemon CPU or memory, and replaying a cached
+submission is still metered even though hits never claim a queue slot
+or tick budget.  Assembly/digest/triage run on a dedicated single
+thread (the daemon's ``EngineCache`` assemble memo is bounded, so
+ever-varying sources cannot grow memory without bound), keeping the
+event loop free to accept connections and serve scrapes.
 
 Robustness invariants the tests hold:
 
@@ -36,6 +49,7 @@ import asyncio
 import json
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Deque, Dict, Optional, Tuple
 
 from repro.cache.digest import submission_key
@@ -67,6 +81,11 @@ from repro.telemetry.metrics import MetricsRegistry, render_openmetrics
 
 #: A submission line/body larger than this is rejected outright.
 MAX_SUBMISSION_BYTES = 4 * 1024 * 1024
+
+#: Bound on the daemon's assemble memo (distinct inline sources kept
+#: warm for key/triage computation).  Past this, least-recently-seen
+#: templates are dropped and simply re-assemble on next sight.
+ASSEMBLE_MEMO_CAPACITY = 128
 
 _REJECT_STATUS = {
     adm.REASON_QUEUE_FULL: (429, "Too Many Requests"),
@@ -101,7 +120,8 @@ class _PendingJob:
         self.queue = queue
         self.timeout = timeout
         #: Holds an admission slot (False for cache hits, which never
-        #: consume queue depth or tick budget and must not release one).
+        #: consume queue depth or tick budget and must not release one;
+        #: their tenant rate token was still charged at precheck).
         self.admitted = admitted
         self.cached = cached
         #: Set on cacheable misses: where to store the fresh result.
@@ -140,20 +160,31 @@ class ServeDaemon:
         self.host = host
         self.port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        #: Daemon-side verdict cache: hits are answered in ``_admit``,
-        #: before (and without) an admission slot.  Stores wire-form
-        #: reports plus the streamed warning events, keyed by submission
-        #: content (``repro.cache.digest.submission_key``).
+        #: Daemon-side verdict cache: hits are answered in ``_admit``
+        #: after the rate precheck but without a queue slot.  Stores
+        #: wire-form reports plus the streamed warning events (plain
+        #: data, hence the ``json`` codec — the daemon never unpickles
+        #: cache bytes), keyed by submission content
+        #: (``repro.cache.digest.submission_key``).
         self.cache = (
             VerdictCache(
                 capacity=cache_entries,
                 disk_dir=cache_dir,
                 metrics=self.metrics,
                 namespace="serve",
+                codec="json",
             ) if cache else None
         )
         #: Warm assemble memo for key computation and triage profiling.
-        self._engine = EngineCache()
+        #: Bounded: clients feeding ever-varying sources must not grow
+        #: daemon memory (the templates are only a digest warm-up here —
+        #: execution happens in worker processes with their own caches).
+        self._engine = EngineCache(max_images=ASSEMBLE_MEMO_CAPACITY)
+        #: All assembly/digest/triage of untrusted submissions happens
+        #: on this one thread, never on the event loop.
+        self._digester = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-digest"
+        )
         self.admission = AdmissionController(
             queue_limit=queue_limit,
             rate=rate,
@@ -229,6 +260,7 @@ class ServeDaemon:
         await asyncio.get_running_loop().run_in_executor(
             None, self.supervisor.stop
         )
+        self._digester.shutdown(wait=False)
 
     # -- dispatch ----------------------------------------------------------
     def _on_worker_idle(self) -> None:
@@ -266,13 +298,19 @@ class ServeDaemon:
         return on_event
 
     # -- one submission, protocol-independent ------------------------------
-    def _admit(
+    async def _admit(
         self, raw: Dict[str, object]
     ) -> Tuple[Optional[_PendingJob], Optional[Dict[str, object]]]:
         """Admission-check one decoded submission.
 
         Returns ``(pending, None)`` on success — the caller streams from
         ``pending.queue`` — or ``(None, rejected_event)`` on rejection.
+
+        Order matters (module docstring): the admission *precheck*
+        (draining + per-tenant rate, hits charged too) runs before any
+        per-submission compute; key digests and triage then run on the
+        digest thread; only a cache miss claims a queue slot and tick
+        budget.
         """
         try:
             submission = Submission.from_wire(raw)
@@ -283,15 +321,17 @@ class ServeDaemon:
                 reason=adm.REASON_INVALID,
             ).inc()
             return None, rejected_event(adm.REASON_INVALID, str(exc))
-        profile = (
-            self._triage_profile(submission) if submission.triage else None
+        reason = self.admission.precheck(submission.tenant)
+        if reason is not None:
+            return None, rejected_event(reason)
+        cache_key, profile = await self._loop.run_in_executor(
+            self._digester, self._inspect_submission, submission
         )
-        cache_key = self._cache_key(submission)
         if cache_key is not None:
             hit = self.cache.lookup(cache_key)
             if hit is not None:
-                # Answered before admission: a hit consumes no queue
-                # depth and no tick-cost budget.
+                # Answered without a queue slot or tick spend (the rate
+                # precheck above already metered this submission).
                 job = _PendingJob(
                     job_id=self.supervisor.next_job_id(),
                     spec=None,
@@ -302,7 +342,7 @@ class ServeDaemon:
                 )
                 self._enqueue_hit(job, hit, profile)
                 return job, None
-        reason = self.admission.try_admit(
+        reason = self.admission.claim_slot(
             submission.tenant, submission.options.max_ticks
         )
         if reason is not None:
@@ -323,6 +363,15 @@ class ServeDaemon:
         self._pending.append(job)
         self._kick()
         return job, None
+
+    def _inspect_submission(
+        self, submission: Submission
+    ) -> Tuple[Optional[str], Optional[Dict[str, object]]]:
+        """Cache key + optional triage profile (digest thread; this
+        assembles untrusted sources but never executes them)."""
+        return self._cache_key(submission), (
+            self._triage_profile(submission) if submission.triage else None
+        )
 
     def _cache_key(self, submission: Submission) -> Optional[str]:
         """The submission's cache key, or None (bypass counted)."""
@@ -474,7 +523,7 @@ class ServeDaemon:
                     rejected_event(adm.REASON_INVALID, str(exc))
                 ))
                 return
-            job, rejection = self._admit(raw)
+            job, rejection = await self._admit(raw)
             if rejection is not None:
                 await write(encode_event(rejection))
                 return
@@ -556,7 +605,7 @@ class ServeDaemon:
                 rejected_event(adm.REASON_INVALID, str(exc)),
             )
             return
-        job, rejection = self._admit(raw)
+        job, rejection = await self._admit(raw)
         if rejection is not None:
             status, phrase = _REJECT_STATUS.get(
                 str(rejection["reason"]), (400, "Bad Request")

@@ -103,6 +103,35 @@ class TestImageDigest:
         assert image_digest(assemble("/bin/t", SOURCE)) != \
             image_digest(patched)
 
+    def test_in_place_data_mutation_moves_a_memoized_digest(self):
+        # Image.data is a mutable dict: a caller-held image mutated
+        # *after* its digest was memoized must re-digest, not reuse the
+        # stale key (and with it someone else's cached report).
+        image = assemble("/bin/t", SOURCE)
+        before = image_digest(image)
+        offset = next(iter(image.data))
+        image.data[offset] = (image.data[offset] + 1) % 256
+        assert image_digest(image) != before
+
+    def test_in_place_symbol_mutation_moves_a_memoized_digest(self):
+        image = assemble("/bin/t", SOURCE)
+        before = image_digest(image)
+        image.symbols["planted"] = 4096
+        assert image_digest(image) != before
+
+    def test_mutated_copy_does_not_poison_the_text_memo(self):
+        # EngineCache hands out fresh copies sharing one text tuple
+        # (the second memo level keys on its identity); mutating one
+        # copy must not stale-serve its siblings, in either direction.
+        from repro.core.engine import EngineCache
+
+        engine = EngineCache()
+        clean = image_digest(engine.image("/bin/t", SOURCE))
+        mutated = engine.image("/bin/t", SOURCE)
+        mutated.data[99999] = 7
+        assert image_digest(mutated) != clean
+        assert image_digest(engine.image("/bin/t", SOURCE)) == clean
+
 
 class TestOptionsFingerprint:
     def test_every_field_except_cache_participates(self):

@@ -7,9 +7,13 @@ key are harmless, and transient outcomes (watchdog, degraded) are never
 remembered.
 """
 
+import json
 import multiprocessing
+import os
 import pickle
 from types import SimpleNamespace
+
+import pytest
 
 from repro.cache.store import (
     BYPASS_ANALYZER,
@@ -173,6 +177,93 @@ class TestVerdictCache:
         assert registry.counter(
             "cache_bypass_total", reason="disabled"
         ).value == 1
+
+
+class _UnpickleSentinel:
+    """Records every unpickling: loading one anywhere appends to
+    ``loads``.  Proves a json-codec store never runs ``pickle.loads``
+    on planted bytes (which would be arbitrary code execution)."""
+
+    loads: list = []
+
+    def __reduce__(self):
+        return (_UnpickleSentinel._record, ())
+
+    @staticmethod
+    def _record():
+        _UnpickleSentinel.loads.append("unpickled")
+        return _UnpickleSentinel()
+
+
+class TestJsonCodec:
+    """The serve tier stores plain wire dicts, so its disk/memory
+    envelopes are JSON: data-only, nothing executable on read."""
+
+    def _value(self):
+        return {"report": {"verdict": "trojan", "warnings": []},
+                "ok": True, "warnings": [{"rule": "R1"}]}
+
+    def test_round_trip_across_instances(self, tmp_path):
+        a = VerdictCache(disk_dir=str(tmp_path), namespace="serve",
+                         codec="json")
+        a.store("k", self._value())
+        b = VerdictCache(disk_dir=str(tmp_path), namespace="serve",
+                         codec="json")
+        assert b.lookup("k") == self._value()
+        assert b.stats.disk_hits == 1
+        assert b.snapshot()["codec"] == "json"
+
+    def test_disk_entries_are_plain_json(self, tmp_path):
+        cache = VerdictCache(disk_dir=str(tmp_path), namespace="serve",
+                             codec="json")
+        cache.store("k", self._value(), meta={"program": "/bin/x"})
+        files = [os.path.join(dirpath, name)
+                 for dirpath, _, names in os.walk(tmp_path)
+                 for name in names if name.endswith(".rvc")]
+        assert len(files) == 1
+        with open(files[0], "rb") as fh:
+            envelope = json.loads(fh.read())
+        assert envelope["key"] == "serve-k"
+        assert envelope["value"] == self._value()
+
+    def test_planted_pickle_bytes_are_never_unpickled(self, tmp_path):
+        """A writable cache_dir must not grant code execution in a
+        json-codec reader: a valid *pickle* envelope planted under the
+        right key reads as corrupt (a miss), without unpickling."""
+        cache = VerdictCache(disk_dir=str(tmp_path), namespace="serve",
+                             codec="json")
+        planted = pickle.dumps({
+            "key": "serve-kk", "meta": {},
+            "value": _UnpickleSentinel(),
+        })
+        cache.disk.write("serve-kk", planted)
+        assert cache.lookup("kk") is None
+        assert _UnpickleSentinel.loads == []
+        assert cache.disk.corrupt == 1
+
+    def test_unencodable_value_degrades_to_no_store(self):
+        cache = VerdictCache(codec="json")
+        assert not cache.store("k", object())
+        assert cache.stats.unpicklable == 1
+        assert cache.lookup("k") is None
+
+    def test_unknown_codec_is_rejected(self):
+        with pytest.raises(KeyError):
+            VerdictCache(codec="msgpack")
+
+
+class TestCacheDirPermissions:
+    def test_fresh_root_is_private(self, tmp_path):
+        root = tmp_path / "fresh"
+        DiskStore(str(root))
+        assert (root.stat().st_mode & 0o777) == 0o700
+
+    def test_existing_root_mode_is_left_alone(self, tmp_path):
+        root = tmp_path / "shared"
+        root.mkdir()
+        os.chmod(root, 0o755)
+        DiskStore(str(root))
+        assert (root.stat().st_mode & 0o777) == 0o755
 
 
 class TestBypassPolicy:

@@ -78,6 +78,31 @@ class TestWarmEngine:
         assert first == cold
         assert second == cold
 
+    def test_bounded_assemble_memo_evicts_lru(self):
+        # Front-ends digesting untrusted, ever-varying sources (the
+        # serve daemon) cap the memo so it cannot grow without bound.
+        from repro.core.engine import EngineCache
+
+        engine = EngineCache(max_images=2)
+        engine.image("/bin/a", SOURCE)
+        engine.image("/bin/b", SOURCE)
+        engine.image("/bin/a", SOURCE)  # refresh a
+        engine.image("/bin/c", SOURCE)  # evicts b, the LRU entry
+        assert len(engine._images) == 2
+        assert ("/bin/b", SOURCE) not in engine._images
+        assert ("/bin/a", SOURCE) in engine._images
+        assert engine.stats()["images"] == 2
+
+    def test_assemble_memo_unbounded_by_default(self):
+        # Execution sessions must keep every template: eviction would
+        # orphan that layout's translated-block cache.
+        from repro.core.engine import EngineCache
+
+        engine = EngineCache()
+        for i in range(5):
+            engine.image(f"/bin/{i}", SOURCE)
+        assert len(engine._images) == 5
+
     def test_block_caches_shared_across_runs(self):
         session = Session(RunOptions(metrics=True))
         first = session.run(SOURCE)

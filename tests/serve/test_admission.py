@@ -128,6 +128,48 @@ class TestTenantMeters:
         assert admission.try_admit("a", 1) == REASON_RATE_LIMITED
 
 
+class TestTwoPhaseAdmission:
+    """The precheck/claim_slot split the daemon orders around the
+    verdict cache: rate is metered before any per-submission compute
+    (hits included), slots and tick budget only on real execution."""
+
+    def test_precheck_charges_rate_but_claims_no_slot(self):
+        admission = AdmissionController(
+            queue_limit=5, rate=1.0, burst=2.0, clock=FakeClock()
+        )
+        assert admission.precheck("t") is None
+        assert admission.precheck("t") is None
+        assert admission.depth == 0
+        assert admission.precheck("t") == REASON_RATE_LIMITED
+
+    def test_claim_slot_charges_depth_and_ticks_only(self):
+        admission = AdmissionController(
+            queue_limit=1, rate=1.0, burst=1.0,
+            tick_rate=100.0, tick_burst=100.0, clock=FakeClock(),
+        )
+        assert admission.claim_slot("t", 100) is None
+        assert admission.depth == 1
+        # the submission-rate bucket was untouched by claim_slot
+        assert admission.precheck("t") is None
+        assert admission.claim_slot("t", 1) == REASON_QUEUE_FULL
+        admission.release()
+        assert admission.claim_slot("t", 1) == REASON_TICK_BUDGET
+
+    def test_both_phases_reject_while_draining(self):
+        admission = AdmissionController(queue_limit=5)
+        admission.drain()
+        assert admission.precheck("t") == REASON_SHUTTING_DOWN
+        assert admission.claim_slot("t", 1) == REASON_SHUTTING_DOWN
+
+    def test_try_admit_is_the_composition(self):
+        admission = AdmissionController(
+            queue_limit=5, rate=1.0, burst=1.0, clock=FakeClock()
+        )
+        assert admission.try_admit("t", 1) is None
+        assert admission.depth == 1
+        assert admission.try_admit("t", 1) == REASON_RATE_LIMITED
+
+
 class TestDrainAndMetrics:
     def test_drain_rejects_everything_after(self):
         admission = AdmissionController(queue_limit=10)

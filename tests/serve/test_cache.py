@@ -1,10 +1,12 @@
-"""The daemon's verdict cache: hits before admission, bit-identical.
+"""The daemon's verdict cache: rate-metered hits, bit-identical replies.
 
 Serve-specific cache promises: a repeat submission is answered from the
-daemon-level cache without queueing or consuming tick budget, the reply
+daemon-level cache without a queue slot or tick spend (its tenant rate
+token is still charged, so replay storms stay bounded), the reply
 (report *and* streamed warnings) is bit-identical to the fresh stream,
 ``accepted``/``report`` events carry ``cached``, v1 clients still work,
-and fault/chaos submissions always execute.
+fault/chaos submissions always execute, and no per-submission compute
+(assembly, key digests, triage) happens for rate-limited clients.
 """
 
 import asyncio
@@ -112,8 +114,8 @@ class TestServeCacheHits:
         assert variant[-1]["cached"] is False
 
     def test_hits_do_not_consume_tick_budget(self, tmp_path):
-        """A cache hit answers before admission: no queue slot, no tick
-        spend — repeat traffic is free even under a strict budget."""
+        """A cache hit claims no queue slot and no tick spend — repeat
+        traffic costs only a rate token even under a strict budget."""
         budget = RunOptions().max_ticks  # exactly one fresh submission
 
         async def main():
@@ -137,6 +139,60 @@ class TestServeCacheHits:
             assert hit[-1]["cached"] is True
         assert other[-1]["kind"] == "rejected"
         assert other[-1]["reason"] == REASON_TICK_BUDGET
+
+
+class TestAdmissionOrdering:
+    """The rate precheck runs before any per-submission compute, the
+    daemon's assemble memo is bounded, and its disk tier is data-only
+    JSON — an overload or a writable cache_dir cannot become unbounded
+    memory, a wedged event loop, or code execution."""
+
+    def test_rate_limited_submissions_never_reach_assembly(self, tmp_path):
+        from repro.serve.admission import REASON_RATE_LIMITED
+
+        async def main():
+            async with daemon(tmp_path, rate=0.001, burst=1.0) as d:
+                first = await submit_async(d.unix_path, Submission(
+                    source=_SOURCE, path="/bin/t", name="inline"))
+                assembled = d._engine.stats()["images"]
+                # Rate-drained: a *novel* source must be turned away
+                # before the daemon assembles or digests it.
+                second = await submit_async(d.unix_path, Submission(
+                    source=_SOURCE.replace("mov ebx, 0", "mov ebx, 9"),
+                    path="/bin/t", name="inline"))
+                return first, second, assembled, d._engine.stats()["images"]
+
+        first, second, before, after = run(main())
+        assert first[-1]["kind"] == "report"
+        assert second[-1]["kind"] == "rejected"
+        assert second[-1]["reason"] == REASON_RATE_LIMITED
+        assert after == before
+
+    def test_daemon_assemble_memo_is_bounded(self, tmp_path):
+        from repro.serve.server import ASSEMBLE_MEMO_CAPACITY
+
+        d = ServeDaemon(unix_path=str(tmp_path / "serve.sock"))
+        assert d._engine.max_images == ASSEMBLE_MEMO_CAPACITY
+
+    def test_serve_disk_tier_is_json(self, tmp_path):
+        import os
+
+        cache_dir = tmp_path / "cache"
+
+        async def main():
+            async with daemon(tmp_path, cache_dir=str(cache_dir)) as d:
+                await submit_async(d.unix_path, Submission(workload=TROJAN))
+
+        run(main())
+        files = [os.path.join(dirpath, name)
+                 for dirpath, _, names in os.walk(cache_dir)
+                 for name in names if name.endswith(".rvc")]
+        assert files
+        for path in files:
+            with open(path, "rb") as fh:
+                envelope = json.loads(fh.read())
+            assert envelope["key"].startswith("serve-")
+            assert "report" in envelope["value"]
 
 
 class TestCacheMetricsExposition:

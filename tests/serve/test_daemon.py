@@ -170,12 +170,16 @@ class TestBackpressure:
 
     def test_tenant_rate_limit(self, tmp_path):
         async def main():
-            async with daemon(tmp_path, rate=0.1, burst=1.0) as d:
+            async with daemon(tmp_path, rate=0.1, burst=2.0) as d:
                 first = await submit_async(d.unix_path, BENIGN)
-                # an identical resubmission hits the verdict cache:
-                # answered before admission, no rate token spent
+                # an identical resubmission answers from the verdict
+                # cache (no queue slot, no tick spend) but still pays a
+                # rate token, so replay storms stay bounded
                 hit = await submit_async(d.unix_path, BENIGN)
-                # novel work from the drained tenant is turned away
+                # the tenant's bucket is drained: even a replay of the
+                # cached submission is turned away before key digesting
+                replay = await submit_async(d.unix_path, BENIGN)
+                # novel work from the drained tenant too
                 novel = Submission(
                     source=BENIGN.source, argv=["novel"], name="benign"
                 )
@@ -186,12 +190,13 @@ class TestBackpressure:
                     Submission(source=BENIGN.source, argv=["novel"],
                                tenant="other"),
                 )
-                return first, hit, second, other
+                return first, hit, replay, second, other
 
-        first, hit, second, other = run(main())
+        first, hit, replay, second, other = run(main())
         assert kinds(first)[-1] == "report"
         assert hit[-1]["kind"] == "report"
         assert hit[-1]["cached"] is True
+        assert replay[0]["reason"] == REASON_RATE_LIMITED
         assert second[0]["reason"] == REASON_RATE_LIMITED
         assert kinds(other)[-1] == "report"
 
