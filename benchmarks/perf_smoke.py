@@ -21,7 +21,14 @@ when either property breaks:
 * a warm verdict-cache hit on the Section 9 workload is not at least
   :data:`VERDICT_CACHE_SPEEDUP` times faster than executing it, is not
   bit-identical to the executed report, or the ``cache_*`` counter
-  families are missing from the OpenMetrics exposition.
+  families are missing from the OpenMetrics exposition;
+* the Rete engine is not at least :data:`RULE_ENGINE_SPEEDUP` faster
+  than the naive full-rejoin matcher on the retained event stream, the
+  two engines disagree on hits/fire-trace/agenda (the exhaustive
+  differential lives in tests/secpert/test_rete_differential.py), or
+  rete per-event match cost at 10k retained facts exceeds
+  :data:`RULE_ENGINE_FLAT_RATIO` times its 100-fact cost (incremental
+  matching must stay flat as working memory grows).
 
 Designed for CI::
 
@@ -75,6 +82,20 @@ PROVENANCE_OVERHEAD = 1.5
 VERDICT_CACHE_SPEEDUP = 50.0
 #: Hit-latency sample count for the p50 (cheap: no execution).
 CACHE_HIT_SAMPLES = 25
+
+#: The Rete engine must beat the naive full-rejoin matcher by at least
+#: this factor on the retained event stream (measured >100x at 120
+#: events — the gap widens with stream length, so the gate is modest).
+RULE_ENGINE_SPEEDUP = 3.0
+#: Retained events for the rule-engine stream gate (naive is quadratic
+#: in this, keep it small enough to finish in seconds).
+RULE_ENGINE_STREAM = 120
+#: Rete per-event probe cost at the largest WM size may be at most this
+#: factor over the smallest — "flat within noise" across 100x growth
+#: (measured ~1.4x; the naive engine measures >400x on the same curve).
+RULE_ENGINE_FLAT_RATIO = 3.0
+#: Interleaved reps for the stream timing (naive is the slow side).
+RULE_ENGINE_REPS = 3
 
 
 def measure(name_a: str, name_b: str) -> tuple:
@@ -342,6 +363,79 @@ def check_verdict_cache() -> int:
     return 0
 
 
+def check_rule_engine() -> int:
+    from benchmarks.bench_rule_engine import (
+        RETE_WM_SIZES, build_engine, observe, probe_per_event, stream,
+    )
+
+    # Equivalence + end-to-end speedup on the retained event stream.
+    best = {"rete": float("inf"), "naive": float("inf")}
+    outcomes = {}
+    for _ in range(RULE_ENGINE_REPS):
+        for label, rete in (("rete", True), ("naive", False)):
+            engine = build_engine(rete=rete)
+            start = time.perf_counter()
+            stream(engine, RULE_ENGINE_STREAM)
+            best[label] = min(best[label], time.perf_counter() - start)
+            outcomes[label] = observe(engine)
+    if outcomes["rete"] != outcomes["naive"]:
+        print(
+            "FAIL: rete and naive engines disagree on "
+            "hits/fire-trace/agenda for the stream workload",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = best["naive"] / best["rete"] if best["rete"] else float("inf")
+    print(
+        f"perf smoke: rule-engine stream ({RULE_ENGINE_STREAM} events) "
+        f"rete={best['rete'] * 1000:.1f} ms "
+        f"naive={best['naive'] * 1000:.1f} ms "
+        f"speedup={speedup:.0f}x"
+    )
+    if speedup < RULE_ENGINE_SPEEDUP:
+        print(
+            f"FAIL: rete speedup {speedup:.1f}x is below the "
+            f"{RULE_ENGINE_SPEEDUP:.0f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Flat scaling: per-event probe cost across 100x WM growth.
+    engine = build_engine(rete=True)
+    per_event = {}
+    grown = 0
+    for size in RETE_WM_SIZES:
+        stream(engine, size - grown, start=grown)
+        grown = size
+        per_event[size] = min(
+            probe_per_event(engine) for _ in range(RULE_ENGINE_REPS)
+        )
+    small, large = RETE_WM_SIZES[0], RETE_WM_SIZES[-1]
+    ratio = per_event[large] / per_event[small] if per_event[small] else 1.0
+    print(
+        "perf smoke: rete per-event cost "
+        + " ".join(
+            f"wm={size}:{per_event[size] * 1e6:.0f}us"
+            for size in RETE_WM_SIZES
+        )
+        + f" flat-ratio={ratio:.2f}"
+    )
+    if ratio > RULE_ENGINE_FLAT_RATIO:
+        print(
+            f"FAIL: rete per-event cost grew {ratio:.2f}x from "
+            f"{small} to {large} facts (gate "
+            f"{RULE_ENGINE_FLAT_RATIO:.0f}x — matching is not flat)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: rete is >= {RULE_ENGINE_SPEEDUP:.0f}x faster than the "
+        "naive matcher, observationally identical, and flat across "
+        f"{large // small}x working-memory growth"
+    )
+    return 0
+
+
 #: Name -> check, in default execution order (``perf_smoke <name>...``
 #: runs a subset — the CI cache job runs just ``verdict_cache``).
 CHECKS = {
@@ -350,6 +444,7 @@ CHECKS = {
     "fleet": check_fleet,
     "provenance": check_provenance,
     "verdict_cache": check_verdict_cache,
+    "rule_engine": check_rule_engine,
 }
 
 

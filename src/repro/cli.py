@@ -164,6 +164,7 @@ def _run_options(args: argparse.Namespace, **overrides) -> RunOptions:
         block_cache=not getattr(args, "no_block_cache", False),
         taint_fastpath=not getattr(args, "no_taint_fastpath", False),
         provenance=not getattr(args, "no_provenance", False),
+        rete=not getattr(args, "no_rete", False),
         cache=not getattr(args, "no_cache", False),
         max_ticks=getattr(args, "max_ticks", None) or 5_000_000,
         **overrides,
@@ -839,6 +840,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "dataflow semantics)")
     run.add_argument("--no-provenance", action="store_true",
                      help="skip recording per-warning evidence trails")
+    run.add_argument("--no-rete", action="store_true",
+                     help="match Secpert rules with the naive full-rejoin "
+                          "engine instead of the incremental Rete network "
+                          "(reference matching semantics)")
     run.add_argument("--max-ticks", type=int, default=5_000_000)
     run.add_argument("--json", metavar="FILE",
                      help="write the machine-readable RunReport as JSON "
@@ -884,6 +889,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the zero-taint dataflow fast path")
     table.add_argument("--no-provenance", action="store_true",
                        help="skip recording per-warning evidence trails")
+    table.add_argument("--no-rete", action="store_true",
+                       help="use the naive matcher instead of the "
+                            "incremental Rete network")
     _add_cache_options(table)
     _add_telemetry_options(table)
     table.set_defaults(func=cmd_table)
@@ -960,6 +968,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the zero-taint dataflow fast path")
     fleet.add_argument("--no-provenance", action="store_true",
                        help="skip recording per-warning evidence trails")
+    fleet.add_argument("--no-rete", action="store_true",
+                       help="use the naive matcher instead of the "
+                            "incremental Rete network")
     fleet.add_argument("--json", metavar="FILE",
                        help="write the merged FleetReport as JSON")
     _add_cache_options(fleet)
@@ -1056,6 +1067,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the zero-taint dataflow fast path")
     submit.add_argument("--no-provenance", action="store_true",
                         help="skip recording per-warning evidence trails")
+    submit.add_argument("--no-rete", action="store_true",
+                        help="use the naive matcher instead of the "
+                             "incremental Rete network")
     submit.add_argument("--no-cache", action="store_true",
                         help="ask the daemon to execute fresh instead of "
                              "answering from its verdict cache")

@@ -115,7 +115,7 @@ class HTH:
         #: exposing a ``warnings`` list (e.g. the cross-session or
         #: multi-program wrappers).
         self.analyzer = analyzer if analyzer is not None else Secpert(
-            self.policy
+            self.policy, rete=options.rete
         )
         self.secpert = self.analyzer if isinstance(
             self.analyzer, Secpert

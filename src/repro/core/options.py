@@ -65,6 +65,11 @@ class RunOptions:
     taint_fastpath: bool = True
     #: Record per-warning taint-provenance evidence trails.
     provenance: bool = True
+    #: Match Secpert rules through the incremental Rete network.
+    #: ``False`` falls back to the naive full-rejoin matcher — the
+    #: differential oracle behind the ``--no-rete`` CLI flag; both
+    #: produce bit-identical warnings and fire traces.
+    rete: bool = True
     #: Collect a metrics registry for the run.
     metrics: bool = False
     #: Collect a span trace (implies a metrics registry).

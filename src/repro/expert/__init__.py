@@ -23,6 +23,7 @@ from repro.expert.engine import (
     Rule,
     RuleContext,
 )
+from repro.expert.rete import MatchStats, ReteNetwork
 from repro.expert.template import Fact, SlotSpec, Template, TemplateError
 
 __all__ = [
@@ -42,6 +43,8 @@ __all__ = [
     "Activation",
     "FiredRule",
     "EngineError",
+    "ReteNetwork",
+    "MatchStats",
     "render_fact",
     "render_assert",
     "render_firing",

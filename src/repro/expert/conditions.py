@@ -15,6 +15,7 @@ bindings threaded left to right.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -30,16 +31,47 @@ class V:
     name: str
 
 
+def _predicate_arity(fn: Callable[..., bool]) -> int:
+    """How many positional arguments ``fn`` accepts: 2, 1, or 0 (unknown).
+
+    Resolved once so a ``TypeError`` raised *inside* a two-argument
+    predicate propagates instead of being mistaken for an arity mismatch
+    and silently retried with one argument.
+    """
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return 0  # some C builtins expose no signature
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind == parameter.VAR_POSITIONAL:
+            return 2
+        if parameter.kind in (parameter.POSITIONAL_ONLY,
+                              parameter.POSITIONAL_OR_KEYWORD):
+            positional += 1
+    return 2 if positional >= 2 else 1
+
+
 @dataclass(frozen=True)
 class P:
     """A predicate constraint: ``P(lambda value, bindings: ...)``.
 
-    One-argument callables are also accepted (value only).
+    One-argument callables are also accepted (value only); arity is
+    resolved at construction from the callable's signature.
     """
 
     fn: Callable[..., bool]
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_arity", _predicate_arity(self.fn))
+
     def check(self, value: Any, bindings: Bindings) -> bool:
+        arity = self._arity
+        if arity == 2:
+            return bool(self.fn(value, bindings))
+        if arity == 1:
+            return bool(self.fn(value))
+        # Signature unavailable: probe, accepting the legacy ambiguity.
         try:
             return bool(self.fn(value, bindings))
         except TypeError:

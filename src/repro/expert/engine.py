@@ -6,6 +6,13 @@ and fires the top one; firing may assert/retract facts, which recomputes
 activations.  Refraction guarantees an activation fires at most once for a
 given combination of facts, so rules do not loop on stable memory.
 
+Matching is incremental by default: assert/retract feed deltas through a
+Rete network (:mod:`repro.expert.rete`) that maintains the agenda, so
+match cost scales with working-memory *changes* rather than its size —
+the property the paper gets for free from CLIPS.  ``rete=False`` keeps
+the original naive matcher (full ``match_lhs`` re-join per firing) as a
+differential oracle; both produce bit-identical agendas and fire traces.
+
 The engine also records a fire trace — CLIPS's headline advantage over
 black-box classifiers is that "an expert system can give the user all of
 the information that was used to reach its conclusion" (section 6.2.1),
@@ -93,14 +100,35 @@ class RuleContext:
         return self.engine.context
 
 
+class _Instruments:
+    """Stable registry handles for the match-cost metric families."""
+
+    __slots__ = ("match_seconds", "alpha_activations", "beta_tokens_live",
+                 "agenda_size")
+
+    def __init__(self, registry: Any) -> None:
+        self.match_seconds = registry.histogram("secpert_match_seconds")
+        self.alpha_activations = registry.counter(
+            "secpert_alpha_activations_total"
+        )
+        self.beta_tokens_live = registry.gauge("secpert_beta_tokens_live")
+        self.agenda_size = registry.gauge("secpert_agenda_size")
+
+
 class InferenceEngine:
-    def __init__(self) -> None:
+    def __init__(self, rete: bool = True) -> None:
         self.templates: Dict[str, Template] = {}
         self.rules: List[Rule] = []
         self._facts: Dict[int, Fact] = {}
         self._next_fact_id = 1
         self._recency = 0
         self._fired: Set[Tuple[str, Tuple[int, ...]]] = set()
+        #: Reverse index for refraction pruning: fact id -> fired keys
+        #: that reference it.  Fact ids are monotonic and never reused,
+        #: so a key naming a retracted id can never re-activate and is
+        #: safe to drop — without this, daemon-lifetime engines leak one
+        #: ``_fired`` entry per fired activation forever.
+        self._fired_by_fact: Dict[int, Set[Tuple[str, Tuple[int, ...]]]] = {}
         self.fire_trace: List[FiredRule] = []
         #: Free-form context shared with rule actions (Secpert stores the
         #: warning sink and policy config here).
@@ -111,10 +139,32 @@ class InferenceEngine:
         #: event; the quarantine survives reset() because the defect is
         #: in the rule, not the working memory.
         self.quarantined: Dict[str, str] = {}
-        #: Optional telemetry registry (repro.telemetry.MetricsRegistry).
-        #: When set, the engine records facts asserted, per-rule firing
-        #: counts, and per-rule action latency.
-        self.metrics = None
+        self._metrics: Any = None
+        self._instruments: Optional[_Instruments] = None
+        from repro.expert.rete import MatchStats, ReteNetwork
+
+        #: Always-on match instrumentation, cheap enough to keep without
+        #: a registry (see :class:`repro.expert.rete.MatchStats`).
+        self.stats = MatchStats(engine="rete" if rete else "naive")
+        self._rete = ReteNetwork(self) if rete else None
+
+    @property
+    def rete_enabled(self) -> bool:
+        return self._rete is not None
+
+    #: Optional telemetry registry (repro.telemetry.MetricsRegistry).
+    #: When set, the engine records facts asserted, per-rule firing
+    #: counts, per-rule action latency, and match-cost families
+    #: (secpert_match_seconds, secpert_alpha_activations_total,
+    #: secpert_beta_tokens_live, secpert_agenda_size).
+    @property
+    def metrics(self) -> Any:
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry: Any) -> None:
+        self._metrics = registry
+        self._instruments = None if registry is None else _Instruments(registry)
 
     # -- definitions ---------------------------------------------------------
     def define_template(self, template: Template) -> Template:
@@ -127,6 +177,8 @@ class InferenceEngine:
         if any(r.name == rule.name for r in self.rules):
             raise EngineError(f"duplicate rule {rule.name!r}")
         self.rules.append(rule)
+        if self._rete is not None:
+            self._rete.add_production(rule, len(self.rules) - 1)
         return rule
 
     # -- working memory ----------------------------------------------------------
@@ -140,14 +192,21 @@ class InferenceEngine:
         self._recency += 1
         fact.recency = self._recency
         self._facts[fact.fact_id] = fact
-        if self.metrics is not None:
-            self.metrics.counter("secpert_facts_asserted_total").inc()
+        self.stats.facts_asserted += 1
+        if self._rete is not None:
+            self._propagate(self._rete.assert_fact, fact)
+        if self._metrics is not None:
+            self._metrics.counter("secpert_facts_asserted_total").inc()
         return fact
 
     def retract(self, fact: Fact) -> None:
         if fact.fact_id is None or fact.fact_id not in self._facts:
             raise EngineError(f"retract of non-asserted fact {fact!r}")
         del self._facts[fact.fact_id]
+        for key in self._fired_by_fact.pop(fact.fact_id, ()):
+            self._fired.discard(key)
+        if self._rete is not None:
+            self._propagate(self._rete.retract_fact, fact)
 
     def facts(self, template: Optional[str] = None) -> List[Fact]:
         out = list(self._facts.values())
@@ -158,14 +217,51 @@ class InferenceEngine:
     def clear_facts(self) -> None:
         self._facts.clear()
         self._fired.clear()
+        self._fired_by_fact.clear()
+        if self._rete is not None:
+            self._rebuild_network()
 
     def reset(self) -> None:
         """CLIPS (reset): wipe facts, refraction memory, and trace."""
         self.clear_facts()
         self.fire_trace.clear()
 
+    def _rebuild_network(self) -> None:
+        from repro.expert.rete import ReteNetwork
+
+        self.stats.beta_tokens_live = 0
+        self.stats.agenda_size = 0
+        network = ReteNetwork(self)
+        self._rete = network
+        for index, rule in enumerate(self.rules):
+            network.add_production(rule, index)
+
+    def _propagate(self, step: Callable[[Fact], None], fact: Fact) -> None:
+        stats = self.stats
+        alpha_before = stats.alpha_activations
+        start = perf_counter()
+        step(fact)
+        elapsed = perf_counter() - start
+        stats.match_calls += 1
+        stats.match_seconds += elapsed
+        stats.agenda_size = self._rete.agenda_size()
+        if stats.agenda_size > stats.agenda_peak:
+            stats.agenda_peak = stats.agenda_size
+        instruments = self._instruments
+        if instruments is not None:
+            instruments.match_seconds.observe(elapsed)
+            delta = stats.alpha_activations - alpha_before
+            if delta:
+                instruments.alpha_activations.inc(delta)
+            instruments.beta_tokens_live.set(stats.beta_tokens_live)
+            instruments.agenda_size.set(stats.agenda_size)
+
     # -- agenda -----------------------------------------------------------------
     def agenda(self) -> List[Activation]:
+        if self._rete is not None:
+            return self._rete.agenda()
+        stats = self.stats
+        start = perf_counter()
         facts = list(self._facts.values())
         activations: List[Activation] = []
         for rule in self.rules:
@@ -182,17 +278,39 @@ class InferenceEngine:
         activations.sort(
             key=lambda a: (a.rule.salience, a.recency()), reverse=True
         )
+        elapsed = perf_counter() - start
+        stats.match_calls += 1
+        stats.match_seconds += elapsed
+        stats.agenda_size = len(activations)
+        if stats.agenda_size > stats.agenda_peak:
+            stats.agenda_peak = stats.agenda_size
+        instruments = self._instruments
+        if instruments is not None:
+            instruments.match_seconds.observe(elapsed)
+            instruments.agenda_size.set(stats.agenda_size)
         return activations
+
+    def match_stats(self) -> Dict[str, Any]:
+        """Wire-friendly snapshot of the always-on match instrumentation."""
+        return self.stats.to_dict()
 
     def run(self, limit: int = 10_000) -> int:
         """Fire until quiescent; returns the number of rules fired."""
         fired = 0
         while fired < limit:
-            agenda = self.agenda()
-            if not agenda:
-                break
-            activation = agenda[0]
-            self._fired.add(activation.key())
+            if self._rete is not None:
+                activation = self._rete.pop_best()
+                if activation is None:
+                    break
+            else:
+                agenda = self.agenda()
+                if not agenda:
+                    break
+                activation = agenda[0]
+            key = activation.key()
+            self._fired.add(key)
+            for fact_id in key[1]:
+                self._fired_by_fact.setdefault(fact_id, set()).add(key)
             self.fire_trace.append(
                 FiredRule(
                     rule_name=activation.rule.name,

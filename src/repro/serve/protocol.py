@@ -86,6 +86,7 @@ def options_to_wire(options: RunOptions) -> Dict[str, object]:
         "block_cache": options.block_cache,
         "taint_fastpath": options.taint_fastpath,
         "provenance": options.provenance,
+        "rete": options.rete,
         "metrics": options.metrics,
         "max_ticks": options.max_ticks,
         "wall_timeout": options.wall_timeout,
@@ -110,7 +111,7 @@ def options_from_wire(data: Optional[Mapping[str, object]]) -> RunOptions:
     data = dict(data)
     fault = data.pop("fault", None)
     allowed = {
-        "block_cache", "taint_fastpath", "provenance", "metrics",
+        "block_cache", "taint_fastpath", "provenance", "rete", "metrics",
         "max_ticks", "wall_timeout", "cache",
     }
     unknown = set(data) - allowed
@@ -120,6 +121,7 @@ def options_from_wire(data: Optional[Mapping[str, object]]) -> RunOptions:
         block_cache=bool(data.get("block_cache", True)),
         taint_fastpath=bool(data.get("taint_fastpath", True)),
         provenance=bool(data.get("provenance", True)),
+        rete=bool(data.get("rete", True)),
         metrics=bool(data.get("metrics", False)),
         cache=bool(data.get("cache", True)),
         max_ticks=int(data.get("max_ticks", DEFAULT_MAX_TICKS)),

@@ -429,6 +429,26 @@ class Supervisor:
                     float(prov.get(key, 0) or 0)
                 )
 
+    def _absorb_engine(self, engine: object, wid: object) -> None:
+        """Fold one run's match-cost snapshot (the worker Secpert's
+        always-on :class:`~repro.expert.rete.MatchStats`) into the
+        daemon-lifetime registry."""
+        if self._metrics is None or not isinstance(engine, dict):
+            return
+        self._metrics.histogram("secpert_match_seconds").observe(
+            float(engine.get("match_seconds", 0) or 0)
+        )
+        self._metrics.counter("secpert_alpha_activations_total").inc(
+            float(engine.get("alpha_activations", 0) or 0)
+        )
+        worker = str(wid)
+        self._metrics.gauge(
+            "secpert_beta_tokens_live", worker=worker
+        ).set(float(engine.get("beta_tokens_live", 0) or 0))
+        self._metrics.gauge(
+            "secpert_agenda_size", worker=worker
+        ).set(float(engine.get("agenda_size", 0) or 0))
+
     def _forward(self, job: _Job, event: Dict[str, object]) -> None:
         try:
             job.on_event(event)
@@ -486,6 +506,7 @@ class Supervisor:
                     worker.jobs_done += 1
         if kind == "result":
             self._absorb_report(msg.get("report"))
+            self._absorb_engine(msg.get("engine"), wid)
             self._finish(job, {
                 "kind": "report",
                 "report": msg["report"],

@@ -20,7 +20,7 @@ left unanswered.
 from __future__ import annotations
 
 import traceback
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.api import Session
 from repro.core.report import RunReport
@@ -34,17 +34,27 @@ def execute_submission(
     session: Session,
     submission: Submission,
     on_warning: Optional[Callable[[int, object], None]] = None,
-) -> Tuple[RunReport, Optional[bool]]:
-    """Run one submission on a warm session; return (report, ok).
+) -> Tuple[RunReport, Optional[bool], Optional[Dict[str, Any]]]:
+    """Run one submission on a warm session; return (report, ok, engine).
 
     ``ok`` is the registry classification check for workload
     submissions, ``None`` for inline source (no expectation to check).
     ``on_warning(seq, warning)`` fires live, in order, as Secpert emits.
+    ``engine`` is the analyzer engine's match-cost snapshot
+    (:meth:`repro.expert.InferenceEngine.match_stats`) when the run owns
+    its Secpert (streaming submissions), else ``None``.
     """
     tap = None
     if on_warning is not None:
         policy = submission.options.policy or PolicyConfig()
-        tap = TapAnalyzer(Secpert(policy), on_warning)
+        tap = TapAnalyzer(
+            Secpert(policy, rete=submission.options.rete), on_warning
+        )
+
+    def engine_stats() -> Optional[Dict[str, Any]]:
+        if tap is None:
+            return None
+        return tap.inner.engine.match_stats()
 
     if submission.workload is not None:
         from repro.fleet.refs import WorkloadRef
@@ -54,7 +64,7 @@ def execute_submission(
         report = session.run_workload(
             workload, options=submission.options, analyzer=tap
         )
-        return report, workload.classified_correctly(report)
+        return report, workload.classified_correctly(report), engine_stats()
 
     def setup(hth) -> None:
         from repro.kernel.network import ConversationPeer, SinkPeer
@@ -87,7 +97,7 @@ def execute_submission(
         path=submission.path,
         analyzer=tap,
     )
-    return report, None
+    return report, None, engine_stats()
 
 
 def serve_worker_main(worker_id: int, job_queue, result_queue) -> None:
@@ -100,7 +110,7 @@ def serve_worker_main(worker_id: int, job_queue, result_queue) -> None:
         {"kind": "ready"}                       idle, health heartbeat
         {"kind": "start", job, attempt}         picked a job up
         {"kind": "warning", job, attempt, seq, warning}
-        {"kind": "result", job, attempt, report, ok, elapsed}
+        {"kind": "result", job, attempt, report, ok, elapsed, engine}
         {"kind": "error",  job, attempt, error, elapsed}
         {"kind": "bye"}                         clean poison-pill exit
     """
@@ -133,7 +143,7 @@ def serve_worker_main(worker_id: int, job_queue, result_queue) -> None:
 
         try:
             submission = Submission.from_wire(job["spec"])
-            report, ok = execute_submission(
+            report, ok, engine = execute_submission(
                 session, submission,
                 on_warning=on_warning if job.get("stream", True) else None,
             )
@@ -145,6 +155,7 @@ def serve_worker_main(worker_id: int, job_queue, result_queue) -> None:
                 "report": report.to_dict(),
                 "ok": ok,
                 "elapsed": time.perf_counter() - started,
+                "engine": engine,
             })
         except Exception:
             result_queue.put({

@@ -63,6 +63,37 @@ class TestPatternMatch:
         assert pattern.match(fact, {"floor": 2}) is not None
         assert pattern.match(fact, {"floor": 5}) is None
 
+    def test_predicate_error_is_not_swallowed(self, access):
+        # A TypeError raised *inside* a two-arg predicate used to be
+        # mistaken for an arity mismatch and silently retried with one
+        # arg; arity is now resolved from the signature up front.
+        fact = access.make(call="open", severity=3)
+        pattern = Pattern(
+            "access", severity=P(lambda v, b: v > b["floor"] + None)
+        )
+        with pytest.raises(TypeError):
+            pattern.match(fact, {"floor": 2})
+
+    def test_predicate_builtin_without_signature(self, access):
+        # Some C callables expose no signature; the legacy probe still
+        # resolves them (bool is value-only).
+        fact = access.make(call="open", severity=3)
+        assert Pattern("access", severity=P(bool)).match(fact, {}) is not None
+        fact0 = access.make(call="open", severity=0)
+        assert Pattern("access", severity=P(bool)).match(fact0, {}) is None
+
+    def test_predicate_varargs_gets_both(self, access):
+        seen = []
+
+        def predicate(*args):
+            seen.append(len(args))
+            return True
+
+        fact = access.make(call="open", severity=3)
+        result = Pattern("access", severity=P(predicate)).match(fact, {})
+        assert result is not None
+        assert seen == [2]
+
     def test_bind_as_exposes_fact(self, access):
         fact = access.make(call="open")
         result = Pattern("access", bind_as="f").match(fact, {})
