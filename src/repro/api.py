@@ -176,25 +176,20 @@ class Session:
         options: Optional[RunOptions] = None,
         telemetry: Optional[Telemetry] = None,
         fault_injector=None,
-        wall_timeout: Optional[float] = None,
         analyzer=None,
     ) -> RunReport:
         """Run one registry :class:`Workload` (its setup/argv/stdin/budgets
-        included) on this session's warm engine."""
+        included) on this session's warm engine.
+
+        Budgets travel inside ``options`` (``wall_timeout``) and the
+        workload itself (``max_ticks``) — the cache key hashes both.
+        """
         options = options if options is not None else self.options
-        # The key must see the budgets the run actually uses: an explicit
-        # wall_timeout argument overrides the options field, and the
-        # workload's own max_ticks wins inside Workload.run — both are
-        # folded in (workload_key hashes workload.max_ticks itself).
-        effective = (
-            options if wall_timeout is None
-            else options.replaced(wall_timeout=wall_timeout)
-        )
         key = self._cache_key_for(
-            effective, telemetry, analyzer,
+            options, telemetry, analyzer,
             fault_injector=fault_injector,
             key_fn=lambda: workload_key(
-                workload, effective, engine=self.engine
+                workload, options, engine=self.engine
             ),
         )
         if key is not None:
@@ -206,7 +201,6 @@ class Session:
         report = workload.run(
             telemetry=telemetry if telemetry is not None else self.telemetry,
             fault_injector=fault_injector,
-            wall_timeout=wall_timeout,
             options=options,
             engine=self.engine,
             analyzer=analyzer,
@@ -236,6 +230,15 @@ def run_workload(
     return Session(options).run_workload(workload, **kwargs)
 
 
+def sweep(**kwargs):
+    """Adversarial variant sweep (see :func:`repro.advers.run_sweep`):
+    generate seed-deterministic Trojan variants, fan them through the
+    fleet engine, and return the detection-rate matrix."""
+    from repro.advers import run_sweep  # local: advers drags in the fleet
+
+    return run_sweep(**kwargs)
+
+
 __all__ = [
     "CacheEnv",
     "Session",
@@ -244,4 +247,5 @@ __all__ = [
     "VerdictCache",
     "run",
     "run_workload",
+    "sweep",
 ]

@@ -19,6 +19,9 @@ Usage (also via ``python -m repro``)::
     # the full 62-workload sweep, sharded over 4 worker processes
     python -m repro fleet --workers 4
 
+    # adversarial variant sweep: 1000+ mutated Trojans, evasion report
+    python -m repro sweep --per-class 5 --json BENCH_adversarial.json
+
     # chaos stability: Table 8 exploits under 10 fault schedules
     python -m repro chaos --table 8 --trials 10
 
@@ -563,6 +566,55 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 1 if fleet.failures else 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Adversarial variant sweep (``repro sweep``): mutate every Trojan
+    parent N times per class, fan out through the fleet, report the
+    detection-rate matrix and any evasions."""
+    from repro.advers import run_sweep
+    from repro.programs.registry import find
+
+    parents = args.parent or None
+    if parents is None and args.table:
+        parents = [
+            w.name for w in find({"trojan"}, keys=tuple(args.table))
+        ]
+        if not parents:
+            raise SystemExit(
+                f"no trojan rows in table(s) {', '.join(args.table)}"
+            )
+    result = run_sweep(
+        parents=parents,
+        classes=args.klass or None,
+        per_class=args.per_class,
+        seed=args.seed,
+        options=_run_options(args),
+        workers=args.workers,
+        shard_by=args.shard_by,
+        max_retries=args.max_retries,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    text = result.render_report()
+    print(text, end="")
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.write_text(result.to_json() + "\n")
+        print(f"wrote {out}")
+    if args.report:
+        out = pathlib.Path(args.report)
+        out.write_text(text)
+        print(f"wrote {out}")
+    if result.errors:
+        print(f"{len(result.errors)} variant(s) failed to run",
+              file=sys.stderr)
+        return 2
+    if args.fail_under is not None \
+            and result.detection_rate < args.fail_under:
+        print(f"detection rate {result.detection_rate:.4f} below "
+              f"--fail-under {args.fail_under}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the always-on detection daemon (``repro serve``)."""
     import asyncio
@@ -976,6 +1028,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_options(fleet)
     _add_telemetry_options(fleet)
     fleet.set_defaults(func=cmd_fleet)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="adversarial variant sweep: seed-deterministic Trojan "
+             "mutations, fleet fan-out, detection-rate matrix",
+    )
+    sweep.add_argument("--parent", action="append", metavar="NAME",
+                       help="parent workload(s) to mutate (repeat; "
+                            "default: every Trojan of tables 4/5/6/8)")
+    sweep.add_argument("--table", action="append",
+                       choices=sorted(_TABLE_BENCHES), metavar="KEY",
+                       help="draw parents from these registries' Trojan "
+                            "rows (repeat; ignored with --parent)")
+    sweep.add_argument("--class", action="append", dest="klass",
+                       metavar="CLASS",
+                       help="mutation class(es) to sweep (repeat; "
+                            "default: all seven)")
+    sweep.add_argument("--per-class", type=int, default=1,
+                       help="variants per parent per class (default: 1; "
+                            "9 exceeds 1000 variants on the default "
+                            "parent set)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed; same seed => bit-identical "
+                            "matrix (default: 0)")
+    sweep.add_argument("--workers", type=int, default=4,
+                       help="fleet worker processes (default: 4)")
+    sweep.add_argument("--shard-by",
+                       choices=("interleave", "chunk", "name", "cluster"),
+                       default="cluster",
+                       help="shard strategy (default: cluster — "
+                            "near-duplicate variants share a worker's "
+                            "warm caches)")
+    sweep.add_argument("--max-retries", type=int, default=1,
+                       help="retries per run on watchdog/monitor-fault "
+                            "outcomes (default: 1)")
+    sweep.add_argument("--no-block-cache", action="store_true",
+                       help="run variants on the per-instruction "
+                            "interpreter instead of the block cache")
+    sweep.add_argument("--no-taint-fastpath", action="store_true",
+                       help="disable the zero-taint dataflow fast path")
+    sweep.add_argument("--no-provenance", action="store_true",
+                       help="skip recording per-warning evidence trails")
+    sweep.add_argument("--no-rete", action="store_true",
+                       help="use the naive matcher instead of the "
+                            "incremental Rete network")
+    sweep.add_argument("--json", metavar="FILE",
+                       help="write the deterministic BENCH payload "
+                            "(matrix + evasions) as JSON")
+    sweep.add_argument("--report", metavar="FILE",
+                       help="write the human-readable evasion report")
+    sweep.add_argument("--fail-under", type=float, metavar="RATE",
+                       help="exit nonzero when the Trojan detection "
+                            "rate drops below RATE (e.g. 0.95)")
+    _add_cache_options(sweep)
+    sweep.set_defaults(func=cmd_sweep)
 
     serve = sub.add_parser(
         "serve",

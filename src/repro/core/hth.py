@@ -18,7 +18,7 @@ from dataclasses import replace
 from functools import lru_cache
 from typing import Dict, Optional, Sequence, TYPE_CHECKING, Union
 
-from repro.core.options import RunOptions, UNSET, fold_legacy_flags
+from repro.core.options import RunOptions
 from repro.core.report import RunReport
 from repro.harrier.analyzer import DecisionPolicy, always_continue
 from repro.harrier.config import HarrierConfig
@@ -93,17 +93,11 @@ class HTH:
         analyzer=None,
         fault_injector: Optional["FaultInjector"] = None,
         telemetry: Optional[Telemetry] = None,
-        block_cache: bool = UNSET,
-        taint_fastpath: bool = UNSET,
         options: Optional[RunOptions] = None,
         engine: Optional["EngineCache"] = None,
     ) -> None:
-        # ``options`` is the one configuration object (see RunOptions);
-        # the historical boolean kwargs keep working via the shim.
-        options = fold_legacy_flags(
-            "HTH", options,
-            block_cache=block_cache, taint_fastpath=taint_fastpath,
-        )
+        # ``options`` is the one configuration object (see RunOptions).
+        options = options if options is not None else RunOptions()
         self.options = options
         self.policy = policy or options.policy or PolicyConfig()
         if telemetry is None:
@@ -200,6 +194,17 @@ class HTH:
             max_ticks = self.options.max_ticks
         if wall_timeout is None:
             wall_timeout = self.options.wall_timeout
+        # Never extend name-based trust to the monitored program itself:
+        # a Trojan installed *as* a trusted shared object (say
+        # ``/lib/libc.so``) would otherwise have its own hardcoded
+        # strings filtered as "trusted libc data" and sail through the
+        # exec-flow rules.  Found by the adversarial rename-paths sweep
+        # (docs/adversarial.md); the program is known here, before
+        # spawn, so the policy is narrowed per run.
+        target = program.name if isinstance(program, Image) else str(program)
+        secpert = self.secpert
+        if secpert is not None and target in secpert.policy.trusted_binaries:
+            secpert.distrust(target)
         if stdin is not None:
             self.provide_input(stdin)
         self.kernel.write_hosts_file()
@@ -255,8 +260,6 @@ def run_monitored(
     fault_injector: Optional["FaultInjector"] = None,
     wall_timeout: Optional[float] = None,
     telemetry: Optional[Telemetry] = None,
-    block_cache: bool = UNSET,
-    taint_fastpath: bool = UNSET,
     options: Optional[RunOptions] = None,
     engine: Optional["EngineCache"] = None,
 ) -> RunReport:
@@ -264,10 +267,6 @@ def run_monitored(
 
     ``setup(hth)`` runs before the program (seed files, register peers...).
     """
-    options = fold_legacy_flags(
-        "run_monitored", options,
-        block_cache=block_cache, taint_fastpath=taint_fastpath,
-    )
     hth = HTH(
         policy=policy,
         harrier_config=harrier_config,

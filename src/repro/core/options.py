@@ -17,14 +17,14 @@ value object:
   :meth:`RunOptions.make_fault_injector`) build *fresh* per-run state so
   two runs with the same options are independent and deterministic.
 
-The old boolean kwargs keep working through :func:`fold_legacy_flags`,
-which folds them into a ``RunOptions`` while emitting a
-``DeprecationWarning`` (covered by ``tests/core/test_options.py``).
+The old boolean kwargs (``block_cache=`` / ``taint_fastpath=``) are
+gone: :func:`fold_legacy_flags` now *rejects* them with a
+:class:`TypeError` naming the replacement (covered by
+``tests/core/test_options.py``).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import Optional, TYPE_CHECKING
 
@@ -132,27 +132,24 @@ def fold_legacy_flags(
     taint_fastpath: object = UNSET,
     stacklevel: int = 3,
 ) -> RunOptions:
-    """Fold deprecated boolean kwargs into a :class:`RunOptions`.
+    """Reject the removed boolean kwargs; default ``options`` otherwise.
 
     The historical ``block_cache=`` / ``taint_fastpath=`` keyword
-    arguments on ``HTH``, ``Workload.run`` and ``run_monitored`` keep
-    working, but emit a :class:`DeprecationWarning` pointing at the
-    replacement.  An explicitly passed legacy flag overrides the same
-    field of ``options`` (the caller who types the kwarg wins).
+    arguments on ``HTH``, ``Workload.run`` and ``run_monitored`` went
+    through a deprecation cycle and are now an error: passing either
+    raises :class:`TypeError` naming the ``RunOptions`` replacement.
+    The function itself stays as the one place a caller-supplied
+    ``options=None`` is defaulted.
     """
-    options = options if options is not None else RunOptions()
-    legacy = {}
+    legacy = []
     if block_cache is not UNSET:
-        legacy["block_cache"] = bool(block_cache)
+        legacy.append("block_cache")
     if taint_fastpath is not UNSET:
-        legacy["taint_fastpath"] = bool(taint_fastpath)
+        legacy.append("taint_fastpath")
     if legacy:
         names = ", ".join(legacy)
-        warnings.warn(
-            f"{where}: the {names} keyword argument(s) are deprecated; "
-            f"pass options=RunOptions({names}...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+        raise TypeError(
+            f"{where}: the {names} keyword argument(s) were removed; "
+            f"pass options=RunOptions({names}=...) instead"
         )
-        options = replace(options, **legacy)
-    return options
+    return options if options is not None else RunOptions()

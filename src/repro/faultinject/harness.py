@@ -93,11 +93,13 @@ def run_one(
     telemetry=None,
 ) -> RunReport:
     """One chaos-perturbed run of ``workload`` (fresh machine+injector)."""
+    from repro.core.options import RunOptions
+
     injector = FaultInjector(profile=profile, seed=seed)
     return workload.run(
         fault_injector=injector,
-        wall_timeout=wall_timeout,
         telemetry=telemetry,
+        options=RunOptions(wall_timeout=wall_timeout),
     )
 
 

@@ -8,55 +8,43 @@ resolves locally by importing the registry module and picking the row by
 name.  Resolution is deterministic: registries build their rows from
 static sources, so every process sees the same workload for the same ref.
 
-:data:`REGISTRIES` is the single source of truth mapping table keys to
-registry factories; the CLI (``repro table``, ``repro chaos``,
-``repro fleet``) and the benchmark harnesses all import it from here.
+:data:`repro.programs.registry.REGISTRIES` is the single source of truth
+mapping table keys to registry factories; it is re-exported here (with
+:data:`REGISTRY_ORDER` and :func:`registry_workloads`) for the CLI
+(``repro table``, ``repro chaos``, ``repro fleet``) and the benchmark
+harnesses, which historically imported it from this module.
 """
 
 from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.options import RunOptions
 from repro.programs.base import Workload
-
-#: Table key → (module, factory) for every evaluation registry: the
-#: paper's Tables 4-8, the macro benchmarks (§8.4), the trusted-extension
-#: rows, and the end-to-end scenarios.  62 workloads in total.
-REGISTRIES: Dict[str, Tuple[str, str]] = {
-    "4": ("repro.programs.micro.execflow", "table4_workloads"),
-    "5": ("repro.programs.micro.resource", "table5_workloads"),
-    "6": ("repro.programs.micro.infoflow", "table6_workloads"),
-    "7": ("repro.programs.trusted.registry", "table7_workloads"),
-    "8": ("repro.programs.exploits.registry", "table8_workloads"),
-    "macro": ("repro.programs.macro.registry", "macro_workloads"),
-    "ext": ("repro.programs.extensions", "extension_workloads"),
-    "scenarios": ("repro.programs.scenarios", "scenario_workloads"),
-}
-
-#: Registry traversal order for "run everything" sweeps (matches
-#: ``repro report``).
-REGISTRY_ORDER: Tuple[str, ...] = (
-    "4", "5", "6", "7", "8", "macro", "ext", "scenarios"
+from repro.programs.registry import (  # noqa: F401 - re-exported
+    REGISTRIES,
+    REGISTRY_ORDER,
+    registry_workloads,
 )
-
-
-def registry_workloads(key: str) -> List[Workload]:
-    """All rows of one registry, freshly built."""
-    module_name, factory_name = REGISTRIES[key]
-    module = importlib.import_module(module_name)
-    return list(getattr(module, factory_name)())
 
 
 @dataclass(frozen=True)
 class WorkloadRef:
-    """A workload row by name — small, picklable, resolvable anywhere."""
+    """A workload row by name — small, picklable, resolvable anywhere.
+
+    ``params`` are extra positional arguments for the factory: a plain
+    registry factory takes none, while generated rows (the adversarial
+    mutator's ``variants(parent, klass, seed)``) are parameterised — the
+    tuple must contain only picklable, hashable primitives so refs stay
+    frozen and cross process boundaries.
+    """
 
     module: str
     factory: str
     name: str
+    params: Tuple[object, ...] = ()
 
     @classmethod
     def from_registry(cls, key: str, name: str) -> "WorkloadRef":
@@ -66,13 +54,13 @@ class WorkloadRef:
     def resolve(self) -> Workload:
         """Import the registry and pick this row (fresh every call)."""
         module = importlib.import_module(self.module)
-        rows = getattr(module, self.factory)()
+        rows = getattr(module, self.factory)(*self.params)
         for workload in rows:
             if workload.name == self.name:
                 return workload
         raise LookupError(
             f"workload {self.name!r} not found in "
-            f"{self.module}.{self.factory}()"
+            f"{self.module}.{self.factory}{self.params or '()'}"
         )
 
 

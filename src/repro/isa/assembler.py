@@ -26,7 +26,7 @@ character code per cell, NUL-terminated.
 from __future__ import annotations
 
 import re
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.isa.image import DataRelocation, Image, TextRelocation
@@ -518,3 +518,125 @@ class Assembler:
 def assemble(name: str, source: str) -> Image:
     """Assemble ``source`` into an image called ``name``."""
     return Assembler(name, source).assemble()
+
+
+# -- source-level rewriting hooks ------------------------------------------
+#
+# The adversarial mutator (repro.programs.mutate) rewrites guest sources
+# rather than images: a statement-level view of the text keeps label
+# definitions, operand tokens, and section membership explicit while
+# preserving the raw spelling of every operand, so a parse/render round
+# trip assembles to the same program.
+
+@dataclass
+class SourceStmt:
+    """One source statement, raw enough to re-render byte-for-byte.
+
+    ``mnemonic`` is the lowered instruction mnemonic, or the directive
+    name with its leading dot (``".asciz"``); ``operands`` are the raw
+    comma-split operand spellings (string literals keep their quotes).
+    """
+
+    section: str                      # ".text" | ".data"
+    labels: List[str] = field(default_factory=list)
+    mnemonic: str = "nop"
+    operands: List[str] = field(default_factory=list)
+    line: int = 0
+
+    @property
+    def is_instr(self) -> bool:
+        return self.section == ".text"
+
+
+_DATA_DIRECTIVES = (".asciz", ".ascii", ".word", ".space")
+
+
+def parse_source(source: str) -> List[SourceStmt]:
+    """Parse assembly text into :class:`SourceStmt` rows (syntax checked
+    exactly like pass 0 of the assembler; raises :class:`AssemblyError`)."""
+    stmts: List[SourceStmt] = []
+    section = ".text"
+    pending: List[str] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = Assembler._strip_comment(raw).strip()
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*", line)
+            if not match or match.group(1) in _MNEMONICS:
+                break
+            pending.append(match.group(1))
+            line = line[match.end():]
+        if not line:
+            continue
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            directive = directive.strip()
+            rest = rest.strip()
+            if directive in (".text", ".data"):
+                if pending:
+                    raise AssemblyError(
+                        "label immediately before section directive", lineno
+                    )
+                section = directive
+                continue
+            if directive in (".global", ".globl", ".extern"):
+                continue
+            if directive not in _DATA_DIRECTIVES:
+                raise AssemblyError(f"unknown directive {directive}", lineno)
+            operands = (
+                [rest] if directive in (".asciz", ".ascii")
+                else _split_operands(rest, lineno)
+            )
+            stmts.append(SourceStmt(".data", pending, directive, operands,
+                                    lineno))
+            pending = []
+            continue
+        if section != ".text":
+            raise AssemblyError("instruction outside .text", lineno)
+        match = re.match(r"^([A-Za-z]+)\b\s*(.*)$", line)
+        if not match:
+            raise AssemblyError(f"cannot parse {line!r}", lineno)
+        operand_text = match.group(2).strip()
+        operands = (
+            _split_operands(operand_text, lineno) if operand_text else []
+        )
+        stmts.append(SourceStmt(".text", pending, match.group(1).lower(),
+                                operands, lineno))
+        pending = []
+    if pending:
+        # Same rule as the assembler: trailing labels bind to a NOP.
+        stmts.append(SourceStmt(".text", pending, "nop", [], 0))
+    return stmts
+
+
+def render_source(stmts: List[SourceStmt]) -> str:
+    """Render statements back to canonical assembly text (text section
+    first, then one ``.data`` section; statement order preserved)."""
+    text = [s for s in stmts if s.section == ".text"]
+    data = [s for s in stmts if s.section == ".data"]
+    lines: List[str] = []
+    for stmt in text:
+        for label in stmt.labels:
+            lines.append(f"{label}:")
+        operands = ", ".join(stmt.operands)
+        lines.append(f"    {stmt.mnemonic} {operands}".rstrip())
+    if data:
+        lines.append(".data")
+        for stmt in data:
+            prefix = "".join(f"{label}: " for label in stmt.labels)
+            operands = ", ".join(stmt.operands)
+            lines.append(f"{prefix}{stmt.mnemonic} {operands}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def is_symbol_token(token: str) -> bool:
+    """Would this operand spelling assemble to a symbol reference?"""
+    token = token.strip()
+    if not token or token[0] in "\"'[":
+        return False
+    if is_register(token.lower()):
+        return False
+    if _parse_int(token) is not None:
+        return False
+    return bool(_LABEL_RE.match(token))

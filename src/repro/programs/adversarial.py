@@ -1,0 +1,114 @@
+"""Adversarial registry: evasions discovered by the variant sweep.
+
+Every row here started life as ``repro sweep`` output — a
+semantics-preserving variant of a Table 4-8 Trojan that landed on a
+*weaker* verdict than its parent.  Sweep evasions are filed in this
+registry in one of two states:
+
+* ``xfail=False`` — the evasion has been **fixed**: the policy/taint
+  change that closes it is in the tree, and the row now classifies
+  correctly.  It stays here as the regression test for that fix.
+* ``xfail=True`` — the evasion is **open**: the row still misclassifies
+  and the expected verdict documents what a fixed detector must say.
+  Tests assert the misclassification (and start failing the moment a
+  fix lands, so the row gets flipped to ``xfail=False``).
+
+Current rows:
+
+``masquerade libc hardcode``
+    Found by the ``rename-paths`` class: reinstall any
+    hardcoded-``execve`` Trojan *as* ``/lib/libc.so`` (or any other
+    name in ``PolicyConfig.trusted_binaries``).  Its hardcoded strings
+    were then BINARY-tagged with a trusted image name, ``filter_binary``
+    dropped them, and ``check_execve`` went silent — verdict BENIGN.
+    Fixed by ``PolicyConfig.distrusting``/``Secpert.distrust``: HTH now
+    strips name-based trust from whatever program it is monitoring
+    (trust is a property of the shared objects a program links against,
+    never of the program under observation).  See docs/adversarial.md.
+
+``slow-and-low forker``
+    Found by the ``syscall-order``/timing family: a forker that spends
+    its fork budget in bursts of exactly five, sleeping longer than the
+    2000-tick ``process_rate_window`` between bursts.  Fifteen children
+    trip the count rule (Low) but the in-window rate never exceeds the
+    threshold, so the Medium rate verdict of a burst forker is evaded.
+    Open: closing it needs a leaky-bucket (long-horizon) rate rule
+    rather than a sliding window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.report import Verdict
+from repro.programs.base import Workload
+
+_MASQUERADE_SOURCE = r"""
+; a bog-standard hardcoded-execve Trojan -- the *only* adversarial
+; trick is the path it is installed under (see the workload row)
+main:
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    call execve
+    mov eax, 0
+    ret
+.data
+prog: .asciz "/bin/ls"
+"""
+
+_SLOW_AND_LOW_SOURCE = r"""
+; fork 15 children in bursts of 5, sleeping past the rate window
+; between bursts: count rule trips, rate rule never does
+main:
+    mov edi, 0              ; bursts completed
+burst:
+    cmp edi, 3
+    jge done
+    mov esi, 0              ; forks within this burst
+inner:
+    cmp esi, 5
+    jge pause
+    call fork
+    cmp eax, 0
+    jz child
+    add esi, 1
+    jmp inner
+pause:
+    mov ebx, 2100           ; outlast the 2000-tick rate window
+    call sleep
+    add edi, 1
+    jmp burst
+child:
+    mov ebx, 50000          ; child: idle a long while, then exit
+    call sleep
+    mov ebx, 0
+    call exit
+done:
+    mov eax, 0
+    ret
+"""
+
+
+def adversarial_workloads() -> List[Workload]:
+    return [
+        Workload(
+            name="masquerade libc hardcode",
+            program_path="/lib/libc.so",
+            source=_MASQUERADE_SOURCE,
+            description="hardcoded execve installed under a trusted "
+                        "binary name (fixed: HTH distrusts its target)",
+            expected_verdict=Verdict.LOW,
+            expected_rules=("check_execve",),
+        ),
+        Workload(
+            name="slow-and-low forker",
+            program_path="/bin/slow_forker",
+            source=_SLOW_AND_LOW_SOURCE,
+            description="paced fork bursts that stay under the sliding "
+                        "rate window (open: needs a long-horizon rule)",
+            expected_verdict=Verdict.MEDIUM,
+            expected_rules=("check_clone_rate", "check_clone_count"),
+            xfail=True,
+        ),
+    ]

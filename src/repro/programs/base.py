@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.options import RunOptions, UNSET, fold_legacy_flags
+from repro.core.options import RunOptions
 from repro.core.report import RunReport, Verdict
 from repro.harrier.config import HarrierConfig
 from repro.isa.assembler import assemble
@@ -44,6 +44,13 @@ class Workload:
     #: Extra shared objects to load, as (path, assembly source) pairs
     #: (e.g. the untrusted libX11.so the xeyes analogue links against).
     extra_libraries: Tuple[Tuple[str, str], ...] = ()
+    #: A known-open evasion: the row is *expected to misclassify* until
+    #: the policy/taint fix lands (``repro.programs.adversarial`` files
+    #: every discovered evasion as one of these, regression-tracked).
+    xfail: bool = False
+    #: For generated variants: the :class:`repro.programs.mutate.
+    #: MutationRecipe` that produced this row from its parent.
+    recipe: Optional[object] = None
 
     def image(self, engine=None) -> Image:
         if engine is not None:
@@ -56,18 +63,13 @@ class Workload:
         harrier_config: Optional[HarrierConfig] = None,
         fault_injector=None,
         telemetry=None,
-        block_cache: bool = UNSET,
-        taint_fastpath: bool = UNSET,
         options: Optional[RunOptions] = None,
         engine=None,
         analyzer=None,
     ) -> "HTH":  # noqa: F821
         from repro.core.hth import HTH
 
-        options = fold_legacy_flags(
-            "Workload.build_machine", options,
-            block_cache=block_cache, taint_fastpath=taint_fastpath,
-        )
+        options = options if options is not None else RunOptions()
         libraries = None
         if self.extra_libraries:
             from repro.programs.libc import libc_image
@@ -102,18 +104,14 @@ class Workload:
         policy: Optional[PolicyConfig] = None,
         harrier_config: Optional[HarrierConfig] = None,
         fault_injector=None,
-        wall_timeout: Optional[float] = None,
         telemetry=None,
-        block_cache: bool = UNSET,
-        taint_fastpath: bool = UNSET,
         options: Optional[RunOptions] = None,
         engine=None,
         analyzer=None,
     ) -> RunReport:
-        options = fold_legacy_flags(
-            "Workload.run", options,
-            block_cache=block_cache, taint_fastpath=taint_fastpath,
-        )
+        # The wall-clock watchdog travels inside ``options``
+        # (``RunOptions.wall_timeout``); ``HTH.run`` defaults to it.
+        options = options if options is not None else RunOptions()
         hth = self.build_machine(
             policy,
             harrier_config,
@@ -129,10 +127,6 @@ class Workload:
             env=self.env,
             stdin=self.stdin,
             max_ticks=self.max_ticks,
-            wall_timeout=(
-                wall_timeout if wall_timeout is not None
-                else options.wall_timeout
-            ),
         )
 
     def classified_correctly(self, report: RunReport) -> bool:
@@ -145,6 +139,25 @@ class Workload:
 
 def run_all(
     workloads: Sequence[Workload],
+    options: Optional[RunOptions] = None,
     policy: Optional[PolicyConfig] = None,
+    session=None,
 ) -> List[Tuple[Workload, RunReport]]:
-    return [(w, w.run(policy=policy)) for w in workloads]
+    """Run rows through one warm :class:`repro.api.Session`.
+
+    Every row shares the session's engine cache (translated blocks,
+    interner, assemble memo) and, when the session carries a verdict
+    cache, repeat rows are answered from it.  Pass ``session`` to reuse
+    an existing one; ``policy`` is a convenience that folds into
+    ``options``.
+    """
+    from repro.api import Session  # local: api imports this module
+
+    if policy is not None:
+        options = (options if options is not None else RunOptions()
+                   ).replaced(policy=policy)
+    if session is None:
+        session = Session(options)
+    return [
+        (w, session.run_workload(w, options=options)) for w in workloads
+    ]

@@ -1,4 +1,9 @@
-"""Section 8.4 macro-benchmark registry."""
+"""Section 8.4 macro-benchmark registry.
+
+Deprecated import path: resolve rows through the unified
+:mod:`repro.programs.registry` instead; this module remains as the
+factory the unified registry maps the ``"macro"`` key to.
+"""
 
 from __future__ import annotations
 

@@ -1,5 +1,10 @@
 """Table 7 registry: the eleven trusted programs of the paper's
-false-positive study, in the paper's order."""
+false-positive study, in the paper's order.
+
+Deprecated import path: resolve rows through the unified
+:mod:`repro.programs.registry` instead; this module remains as the
+factory the unified registry maps the ``"7"`` key to.
+"""
 
 from __future__ import annotations
 

@@ -9,8 +9,8 @@ our implementation does support this.").  This module is the equivalent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Tuple
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Tuple
 
 from repro.taint.tags import DataSource, TagSet
 
@@ -58,6 +58,19 @@ class PolicyConfig:
             name
             for name in origin.names_for(DataSource.SOCKET)
             if name not in self.trusted_sockets
+        )
+
+    # -- evolution -----------------------------------------------------------
+    def distrusting(self, name: str) -> "PolicyConfig":
+        """A copy with ``name`` dropped from the trusted-binaries set.
+
+        Used when the monitored program itself carries a trusted name
+        (a Trojan masquerading as ``/lib/libc.so``): trust is a property
+        of the *shared objects a program links against*, never of the
+        program under observation.
+        """
+        return replace(
+            self, trusted_binaries=self.trusted_binaries - {name}
         )
 
     # -- derived predicates ---------------------------------------------------

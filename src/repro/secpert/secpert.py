@@ -52,6 +52,24 @@ class Secpert(EventAnalyzer):
         engine.context["policy"] = self.policy
         return engine
 
+    def distrust(self, name: str) -> None:
+        """Withdraw name-based trust from ``name`` and rebuild the rules.
+
+        The policy is baked into every rule closure at engine-build
+        time, so narrowing it means rebuilding the engine — the warning
+        sink, provenance recorder, and any attached metrics registry
+        carry over.  Called by :meth:`repro.core.hth.HTH.run` before
+        spawn when the monitored program itself carries a trusted name
+        (the masquerade evasion; see docs/adversarial.md).
+        """
+        if name not in self.policy.trusted_binaries:
+            return
+        metrics = self.engine.metrics
+        self.policy = self.policy.distrusting(name)
+        self.engine = self._build_engine()
+        self.engine.metrics = metrics
+        self._rule_docs = {r.name: r.doc for r in self.engine.rules}
+
     def attach_telemetry(self, telemetry) -> None:
         """Wire the engine's metrics hooks to a live registry."""
         if getattr(telemetry, "is_enabled", False):

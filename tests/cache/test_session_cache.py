@@ -147,11 +147,13 @@ class TestWorkloadCaching:
         assert _dump(hit) == _dump(fresh)
         assert hit.render_warnings() == fresh.render_warnings()
 
-    def test_wall_timeout_argument_participates_in_the_key(self):
+    def test_wall_timeout_option_participates_in_the_key(self):
         session = _session()
         workload = TROJAN.resolve()
         session.run_workload(workload)
-        session.run_workload(workload, wall_timeout=120.0)
+        session.run_workload(
+            workload, options=RunOptions(wall_timeout=120.0)
+        )
         assert session.cache.stats.hits == 0
         assert session.cache.stats.misses == 2
 
@@ -211,10 +213,11 @@ class TestInvalidationEdges:
     def test_watchdog_outcome_is_not_cached_so_retries_execute(self):
         session = _session()
         workload = TROJAN.resolve()
-        report = session.run_workload(workload, wall_timeout=0.0)
+        deadline = RunOptions(wall_timeout=0.0)
+        report = session.run_workload(workload, options=deadline)
         assert report.result.reason == "watchdog"
         assert session.cache.stats.store_skips == 1
         # The retry re-executes (a miss, not a cached watchdog).
-        again = session.run_workload(workload, wall_timeout=0.0)
+        again = session.run_workload(workload, options=deadline)
         assert again.result.reason == "watchdog"
         assert session.cache.stats.hits == 0

@@ -1,10 +1,11 @@
-"""RunOptions: the unified run-configuration object and its legacy shims.
+"""RunOptions: the unified run-configuration object and the end state
+of its migration.
 
-Covers the deprecation contract the API redesign promised: the old
-``block_cache=`` / ``taint_fastpath=`` boolean kwargs on ``HTH``,
-``Workload.run``/``build_machine`` and ``run_monitored`` keep working —
-with a ``DeprecationWarning`` — and behave exactly like the
-``options=RunOptions(...)`` replacement.
+The deprecation window is over: the old ``block_cache=`` /
+``taint_fastpath=`` boolean kwargs are gone from ``HTH``,
+``Workload.run``/``build_machine`` and ``run_monitored``, and
+:func:`fold_legacy_flags` now rejects them with a ``TypeError`` naming
+the ``options=RunOptions(...)`` replacement.
 """
 
 import pickle
@@ -18,7 +19,6 @@ from repro.core.options import (
     UNSET,
     fold_legacy_flags,
 )
-from repro.fleet.refs import WorkloadRef
 from repro.isa import assemble
 
 SOURCE = """
@@ -87,70 +87,51 @@ class TestRunOptions:
 
 
 class TestFoldLegacyFlags:
-    def test_no_flags_no_warning(self, recwarn):
-        options = fold_legacy_flags("X", None)
-        assert options == RunOptions()
-        assert not [
-            w for w in recwarn.list
-            if issubclass(w.category, DeprecationWarning)
-        ]
+    def test_no_flags_pass_through(self):
+        assert fold_legacy_flags("X", None) == RunOptions()
+        custom = RunOptions(block_cache=False)
+        assert fold_legacy_flags("X", custom) is custom
 
-    def test_flag_warns_and_folds(self):
-        with pytest.warns(DeprecationWarning, match="block_cache"):
-            options = fold_legacy_flags("X", None, block_cache=False)
-        assert options.block_cache is False
+    def test_legacy_flag_is_an_error(self):
+        with pytest.raises(TypeError, match="block_cache"):
+            fold_legacy_flags("X", None, block_cache=False)
+        with pytest.raises(TypeError, match="taint_fastpath"):
+            fold_legacy_flags("X", None, taint_fastpath=True)
 
-    def test_explicit_flag_overrides_options(self):
-        with pytest.warns(DeprecationWarning):
-            options = fold_legacy_flags(
-                "X", RunOptions(taint_fastpath=True), taint_fastpath=False
+    def test_error_names_every_flag_and_the_callsite(self):
+        with pytest.raises(TypeError) as excinfo:
+            fold_legacy_flags(
+                "Workload.run", None,
+                block_cache=False, taint_fastpath=False,
             )
-        assert options.taint_fastpath is False
+        message = str(excinfo.value)
+        assert "Workload.run" in message
+        assert "block_cache" in message and "taint_fastpath" in message
+        assert "options=RunOptions(" in message
 
-    def test_unset_sentinel_is_not_false(self, recwarn):
+    def test_unset_sentinel_is_not_a_flag(self):
         options = fold_legacy_flags(
             "X", RunOptions(block_cache=False),
             block_cache=UNSET, taint_fastpath=UNSET,
         )
         assert options.block_cache is False  # options value preserved
-        assert not [
-            w for w in recwarn.list
-            if issubclass(w.category, DeprecationWarning)
-        ]
 
 
-class TestLegacyShims:
-    def test_hth_legacy_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning, match="HTH"):
-            hth = HTH(block_cache=False)
-        assert hth.options.block_cache is False
+class TestLegacyKwargsRemoved:
+    def test_hth_rejects_legacy_kwarg(self):
+        with pytest.raises(TypeError):
+            HTH(block_cache=False)
 
-    def test_hth_options_equivalent_to_legacy(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = HTH(taint_fastpath=False).run(_image())
-        modern = HTH(options=RunOptions(taint_fastpath=False)).run(_image())
-        assert legacy.to_dict() == modern.to_dict()
+    def test_run_monitored_rejects_legacy_kwarg(self):
+        with pytest.raises(TypeError):
+            run_monitored(_image(), taint_fastpath=False)
 
-    def test_workload_run_legacy_kwarg_warns(self):
-        workload = WorkloadRef.from_registry("8", "ElmExploit").resolve()
-        with pytest.warns(DeprecationWarning, match="Workload.run"):
-            legacy = workload.run(block_cache=False)
-        modern = workload.run(options=RunOptions(block_cache=False))
-        assert legacy.to_dict() == modern.to_dict()
-
-    def test_build_machine_legacy_kwarg_warns(self):
-        workload = WorkloadRef.from_registry("8", "ElmExploit").resolve()
-        with pytest.warns(DeprecationWarning, match="build_machine"):
-            hth = workload.build_machine(taint_fastpath=False)
-        assert hth.options.taint_fastpath is False
-
-    def test_run_monitored_legacy_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning):
-            verdict_legacy = run_monitored(_image(), block_cache=False)
-        verdict_modern = run_monitored(
-            _image(), options=RunOptions(block_cache=False)
-        )
-        assert verdict_legacy.to_dict() == verdict_modern.to_dict()
+    def test_options_equivalent_to_defaults(self):
+        explicit = HTH(
+            options=RunOptions(block_cache=True, taint_fastpath=True)
+        ).run(_image())
+        default = HTH().run(_image())
+        assert explicit.to_dict() == default.to_dict()
 
     def test_hth_run_budgets_default_from_options(self):
         spin = assemble("/bin/spin", "main:\nloop:\n    jmp loop\n")
